@@ -1,0 +1,34 @@
+//! Figure 7.1 — the impact of communication delay τ (paper §7.2).
+//!
+//! Panel (a): monitoring accuracy vs τ for SRB, PRD(0.1), PRD(1).
+//! Panel (b): communication cost vs τ for SRB, OPT, PRD(0.1), PRD(1).
+//!
+//! Expected shape: SRB ≈ 100% at τ = 0 and degrades slowly; the PRD family
+//! sits at 80–90% regardless; costs are flat in τ with
+//! OPT < SRB < PRD(1) < PRD(0.1) = 10.
+
+use srb_bench::{base_config, figure_header, json_row, run_row};
+use srb_sim::{Scheme, SimConfig};
+
+fn main() {
+    let base = base_config();
+    figure_header("Figure 7.1", "impact of communication delay τ", &base);
+    let taus = [0.0, 0.1, 0.25, 0.5, 1.0];
+
+    println!("\n-- panel (a): monitoring accuracy; panel (b): communication cost --");
+    for &tau in &taus {
+        let cfg = SimConfig { delay: tau, ..base };
+        println!("\nτ = {tau}");
+        let m = run_row("SRB", Scheme::Srb, &cfg);
+        json_row("7.1", "SRB", tau, &m);
+        let m = run_row("PRD(0.1)", Scheme::Prd(0.1), &cfg);
+        json_row("7.1", "PRD(0.1)", tau, &m);
+        let m = run_row("PRD(1)", Scheme::Prd(1.0), &cfg);
+        json_row("7.1", "PRD(1)", tau, &m);
+        // OPT's cost is delay-independent by construction; run it once.
+        if tau == 0.0 {
+            let m = run_row("OPT", Scheme::Opt, &cfg);
+            json_row("7.1", "OPT", tau, &m);
+        }
+    }
+}

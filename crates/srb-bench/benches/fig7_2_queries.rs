@@ -1,0 +1,35 @@
+//! Figure 7.2 — scalability with the number of registered queries W
+//! (paper §7.3).
+//!
+//! Panel (a): server CPU time per time unit; panel (b): communication cost.
+//! Expected shape: SRB CPU and communication grow *sublinearly* in W (the
+//! grid query index filters irrelevant queries); PRD CPU grows linearly
+//! (it reevaluates every query each round). The grid query index footprint
+//! is also reported (the paper notes it stays under 300 KB at W = 1000).
+
+use srb_bench::{base_config, figure_header, full_scale, json_row, run_row};
+use srb_sim::{Scheme, SimConfig};
+
+fn main() {
+    let base = base_config();
+    figure_header("Figure 7.2", "performance vs number of queries W", &base);
+    let ws: &[usize] = if full_scale() {
+        &[10, 50, 100, 500, 1000]
+    } else {
+        &[5, 15, 60, 120, 240]
+    };
+
+    for &w in ws {
+        let cfg = SimConfig { n_queries: w, ..base };
+        println!("\nW = {w}");
+        let m = run_row("SRB", Scheme::Srb, &cfg);
+        println!("{:<18} grid index footprint: {} bucket entries", "", m.grid_footprint);
+        json_row("7.2", "SRB", w as f64, &m);
+        let m = run_row("PRD(1)", Scheme::Prd(1.0), &cfg);
+        json_row("7.2", "PRD(1)", w as f64, &m);
+        let m = run_row("PRD(0.1)", Scheme::Prd(0.1), &cfg);
+        json_row("7.2", "PRD(0.1)", w as f64, &m);
+        let m = run_row("OPT", Scheme::Opt, &cfg);
+        json_row("7.2", "OPT", w as f64, &m);
+    }
+}

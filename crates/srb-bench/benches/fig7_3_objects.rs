@@ -1,0 +1,34 @@
+//! Figure 7.3 — scalability with the number of moving objects N
+//! (paper §7.3).
+//!
+//! Panel (a): server CPU time per time unit; panel (b): communication cost
+//! per client. Expected shape: SRB CPU grows sublinearly (incremental
+//! R*-tree maintenance); PRD grows linearly or worse (full rebuild per
+//! round). SRB's per-client communication cost grows sublinearly with
+//! density and stays close to OPT.
+
+use srb_bench::{base_config, figure_header, full_scale, json_row, run_row};
+use srb_sim::{Scheme, SimConfig};
+
+fn main() {
+    let base = base_config();
+    figure_header("Figure 7.3", "performance vs number of objects N", &base);
+    let ns: &[usize] = if full_scale() {
+        &[100, 1_000, 10_000, 100_000]
+    } else {
+        &[100, 500, 2_000, 8_000]
+    };
+
+    for &n in ns {
+        let cfg = SimConfig { n_objects: n, ..base };
+        println!("\nN = {n}");
+        let m = run_row("SRB", Scheme::Srb, &cfg);
+        json_row("7.3", "SRB", n as f64, &m);
+        let m = run_row("PRD(1)", Scheme::Prd(1.0), &cfg);
+        json_row("7.3", "PRD(1)", n as f64, &m);
+        let m = run_row("PRD(0.1)", Scheme::Prd(0.1), &cfg);
+        json_row("7.3", "PRD(0.1)", n as f64, &m);
+        let m = run_row("OPT", Scheme::Opt, &cfg);
+        json_row("7.3", "OPT", n as f64, &m);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 7.4 — sensitivity of SRB to object mobility (paper §7.4).
+//!
+//! Panel (a): communication cost vs mean speed v̄, with the cost *per
+//! distance unit* on the secondary axis. Expected shape: cost grows
+//! linearly with v̄ while cost-per-distance stays flat (updates depend on
+//! trajectory length, not speed).
+//!
+//! Panel (b): communication cost vs mean constant movement period t̄v.
+//! Expected shape: essentially flat — SRB is robust to movement steadiness.
+
+use srb_bench::{base_config, figure_header, json_row, run_row};
+use srb_sim::{Scheme, SimConfig};
+
+fn main() {
+    let base = base_config();
+    figure_header("Figure 7.4(a)", "communication cost vs mean speed v̄", &base);
+    for &v in &[0.0025, 0.005, 0.01, 0.02, 0.04] {
+        let cfg = SimConfig { mean_speed: v, ..base };
+        println!("\nv̄ = {v}");
+        let m = run_row("SRB", Scheme::Srb, &cfg);
+        json_row("7.4a", "SRB", v, &m);
+        let m = run_row("OPT", Scheme::Opt, &cfg);
+        json_row("7.4a", "OPT", v, &m);
+    }
+
+    figure_header("Figure 7.4(b)", "communication cost vs movement period t̄v", &base);
+    for &tv in &[0.001, 0.005, 0.02, 0.1, 0.5, 1.0] {
+        let cfg = SimConfig { mean_period: tv, ..base };
+        println!("\nt̄v = {tv}");
+        let m = run_row("SRB", Scheme::Srb, &cfg);
+        json_row("7.4b", "SRB", tv, &m);
+    }
+}

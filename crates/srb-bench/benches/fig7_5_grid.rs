@@ -1,0 +1,19 @@
+//! Figure 7.5 — sensitivity to the grid partitioning M (paper §7.4).
+//!
+//! Expected shape: communication cost increases with M (the cell bounds
+//! the largest possible safe region, and past M ≈ 50 the cell dominates);
+//! CPU time decreases with M (fewer relevant queries per cell).
+
+use srb_bench::{base_config, figure_header, json_row, run_row};
+use srb_sim::{Scheme, SimConfig};
+
+fn main() {
+    let base = base_config();
+    figure_header("Figure 7.5", "performance vs grid partitioning M", &base);
+    for &m_grid in &[5usize, 10, 25, 50, 100] {
+        let cfg = SimConfig { grid_m: m_grid, ..base };
+        println!("\nM = {m_grid}");
+        let m = run_row("SRB", Scheme::Srb, &cfg);
+        json_row("7.5", "SRB", m_grid as f64, &m);
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 7.6 — the §6 enhancements (paper §7.5).
+//!
+//! Panel (a): communication-cost improvement (%) of the reachability
+//! circle (maximum-speed assumption) as the query load W varies. Expected
+//! shape: 20–40% improvement, shrinking as W grows (smaller safe regions
+//! are covered by the expanding circle sooner).
+//!
+//! Panel (b): improvement (%) of the weighted perimeter (steady movement,
+//! D = 0.5) as the movement period t̄v varies. Expected shape: negative or
+//! nil at very small t̄v (directions change too fast), +5–15% at larger
+//! t̄v.
+
+use srb_bench::{base_config, figure_header, full_scale, json_row, run_row};
+use srb_sim::{Scheme, SimConfig};
+
+fn main() {
+    let base = base_config();
+    figure_header("Figure 7.6(a)", "reachability-circle improvement vs W", &base);
+    let ws: &[usize] = if full_scale() { &[10, 100, 1000] } else { &[10, 30, 60, 120] };
+    for &w in ws {
+        let plain = SimConfig { n_queries: w, ..base };
+        let enhanced = SimConfig { reachability: true, ..plain };
+        println!("\nW = {w}");
+        let m0 = run_row("SRB", Scheme::Srb, &plain);
+        let m1 = run_row("SRB+reach", Scheme::Srb, &enhanced);
+        let improvement = 100.0 * (m0.comm_cost - m1.comm_cost) / m0.comm_cost;
+        println!("{:<18} improvement: {improvement:+.1}%", "");
+        json_row("7.6a", "SRB", w as f64, &m0);
+        json_row("7.6a", "SRB+reach", w as f64, &m1);
+    }
+
+    figure_header("Figure 7.6(b)", "weighted-perimeter improvement vs t̄v (D=0.5)", &base);
+    for &tv in &[0.001, 0.01, 0.1, 0.5, 1.0] {
+        let plain = SimConfig { mean_period: tv, ..base };
+        let enhanced = SimConfig { steadiness: Some(0.5), ..plain };
+        println!("\nt̄v = {tv}");
+        let m0 = run_row("SRB", Scheme::Srb, &plain);
+        let m1 = run_row("SRB+steady", Scheme::Srb, &enhanced);
+        let improvement = 100.0 * (m0.comm_cost - m1.comm_cost) / m0.comm_cost;
+        println!("{:<18} improvement: {improvement:+.1}%", "");
+        json_row("7.6b", "SRB", tv, &m0);
+        json_row("7.6b", "SRB+steady", tv, &m1);
+    }
+}

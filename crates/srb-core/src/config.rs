@@ -1,0 +1,73 @@
+//! Server configuration.
+
+use crate::provider::CostModel;
+use srb_geom::Rect;
+use srb_index::TreeConfig;
+
+/// Configuration of the SRB database server.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// The monitored space (the paper uses the unit square).
+    pub space: Rect,
+    /// Grid resolution `M` of the query index (§3.3; paper default 50).
+    pub grid_m: usize,
+    /// Maximum object speed `V`. When set, the server uses the
+    /// *reachability circle* enhancement (§6.1) to resolve ambiguities
+    /// without probing. Must be a true upper bound on client speed.
+    pub max_speed: Option<f64>,
+    /// Steadiness parameter `D ∈ [0, 1]` of the *steady movement*
+    /// enhancement (§6.2). When set, safe regions maximize the weighted
+    /// perimeter instead of the ordinary perimeter.
+    pub steadiness: Option<f64>,
+    /// Object R\*-tree configuration.
+    pub tree: TreeConfig,
+    /// Wireless cost model (§7.1).
+    pub cost: CostModel,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            space: Rect::UNIT,
+            grid_m: 50,
+            max_speed: None,
+            steadiness: None,
+            tree: TreeConfig::default(),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config with both §6 enhancements enabled.
+    pub fn enhanced(max_speed: f64, steadiness: f64) -> Self {
+        ServerConfig {
+            max_speed: Some(max_speed),
+            steadiness: Some(steadiness),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ServerConfig::default();
+        assert_eq!(c.grid_m, 50);
+        assert_eq!(c.space, Rect::UNIT);
+        assert!(c.max_speed.is_none());
+        assert!(c.steadiness.is_none());
+        assert_eq!(c.cost.c_l, 1.0);
+        assert_eq!(c.cost.c_p, 1.5);
+    }
+
+    #[test]
+    fn enhanced_sets_both() {
+        let c = ServerConfig::enhanced(0.02, 0.5);
+        assert_eq!(c.max_speed, Some(0.02));
+        assert_eq!(c.steadiness, Some(0.5));
+    }
+}

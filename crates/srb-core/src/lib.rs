@@ -1,0 +1,66 @@
+//! # srb-core
+//!
+//! The **safe-region-based (SRB) monitoring framework** of Hu, Xu & Lee,
+//! *A Generic Framework for Monitoring Continuous Spatial Queries over
+//! Moving Objects* (SIGMOD 2005) — the paper's primary contribution.
+//!
+//! The central abstraction is the [`Server`]: it registers continuous range
+//! and k-nearest-neighbor queries ([`QuerySpec`]) over a population of
+//! moving objects, hands each object a rectangular **safe region**, and
+//! guarantees that every registered query's result stays exact as long as
+//! each object reports (a *source-initiated update*,
+//! [`Server::handle_location_update`]) whenever it leaves its safe region.
+//! When an update leaves a query undecided, the server *probes* specific
+//! objects through the caller-supplied [`LocationProvider`] — and the lazy
+//! probing discipline of §4 guarantees each probe is mandatory.
+//!
+//! ```
+//! use srb_core::{ObjectId, QuerySpec, Server, FnProvider};
+//! use srb_geom::{Point, Rect};
+//!
+//! // World state the "clients" live in (normally: real devices).
+//! let positions = vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)];
+//! let mut provider = FnProvider(|id: ObjectId| positions[id.index()]);
+//!
+//! let mut server = Server::with_defaults();
+//! for (i, &p) in positions.iter().enumerate() {
+//!     server.add_object(ObjectId(i as u32), p, &mut provider, 0.0);
+//! }
+//! let resp = server.register_query(
+//!     QuerySpec::knn(Point::new(0.0, 0.0), 1),
+//!     &mut provider,
+//!     0.0,
+//! );
+//! assert_eq!(resp.results, vec![ObjectId(0)]);
+//! ```
+//!
+//! Module map (paper section in parentheses): [`query`](crate::query)
+//! quarantine areas (§3.3), `grid` query index (§3.3), `eval` evaluation
+//! with lazy probes (§4.1–4.2), `reeval` incremental reevaluation (§4.3),
+//! `safe_region` Ir-lp-based safe regions (§5), [`bounds`](crate::bounds)
+//! reachability refinement (§6.1), weighted-perimeter objective selection
+//! (§6.2) via [`ServerConfig::steadiness`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod bounds;
+mod config;
+mod eval;
+mod grid;
+mod ids;
+mod object;
+mod provider;
+mod query;
+mod reeval;
+mod safe_region;
+mod server;
+
+pub use bounds::LocBound;
+pub use config::ServerConfig;
+pub use grid::{Cell, GridIndex};
+pub use ids::{ObjectId, QueryId};
+pub use object::{ObjectState, ObjectTable};
+pub use provider::{CostModel, CostTracker, FnProvider, LocationProvider, NoProbe, WorkStats};
+pub use query::{Quarantine, QuerySpec, QueryState, ResultChange};
+pub use server::{RegisterResponse, ResultRemoval, Server, UpdateResponse};

@@ -1,0 +1,135 @@
+//! Per-object server-side state: the safe region, the last reported
+//! location, and its timestamp (needed by the reachability circle, §6.1).
+
+use crate::ids::ObjectId;
+use srb_geom::{Point, Rect};
+
+/// What the server knows about one moving object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObjectState {
+    /// Last *exactly known* location (from a source-initiated update or a
+    /// probe) — the paper's `p_lst`.
+    pub p_lst: Point,
+    /// Timestamp of that location — the paper's `T`.
+    pub t_lst: f64,
+    /// Current safe region (also stored in the object R\*-tree).
+    pub safe_region: Rect,
+}
+
+/// Dense table of object states, indexed by [`ObjectId`].
+#[derive(Clone, Debug, Default)]
+pub struct ObjectTable {
+    states: Vec<Option<ObjectState>>,
+    len: usize,
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Registers or replaces an object's state.
+    pub fn set(&mut self, id: ObjectId, state: ObjectState) {
+        let idx = id.index();
+        if idx >= self.states.len() {
+            self.states.resize(idx + 1, None);
+        }
+        if self.states[idx].is_none() {
+            self.len += 1;
+        }
+        self.states[idx] = Some(state);
+    }
+
+    /// The state of `id`, if registered.
+    pub fn get(&self, id: ObjectId) -> Option<&ObjectState> {
+        self.states.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable state access.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut ObjectState> {
+        self.states.get_mut(id.index()).and_then(|s| s.as_mut())
+    }
+
+    /// Removes an object, returning its state.
+    pub fn remove(&mut self, id: ObjectId) -> Option<ObjectState> {
+        let slot = self.states.get_mut(id.index())?;
+        let old = slot.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Iterates over registered objects.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &ObjectState)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|st| (ObjectId(i as u32), st)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(x: f64) -> ObjectState {
+        ObjectState {
+            p_lst: Point::new(x, x),
+            t_lst: 0.0,
+            safe_region: Rect::point(Point::new(x, x)),
+        }
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut t = ObjectTable::new();
+        assert!(t.is_empty());
+        t.set(ObjectId(3), state(0.3));
+        t.set(ObjectId(0), state(0.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(ObjectId(3)).unwrap().p_lst, Point::new(0.3, 0.3));
+        assert!(t.get(ObjectId(1)).is_none());
+        assert!(t.remove(ObjectId(3)).is_some());
+        assert!(t.remove(ObjectId(3)).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn set_overwrites_without_double_count() {
+        let mut t = ObjectTable::new();
+        t.set(ObjectId(0), state(0.1));
+        t.set(ObjectId(0), state(0.2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(ObjectId(0)).unwrap().p_lst, Point::new(0.2, 0.2));
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut t = ObjectTable::new();
+        for i in [5u32, 1, 9] {
+            t.set(ObjectId(i), state(i as f64 / 10.0));
+        }
+        let ids: Vec<u32> = t.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut t = ObjectTable::new();
+        t.set(ObjectId(2), state(0.5));
+        t.get_mut(ObjectId(2)).unwrap().t_lst = 7.0;
+        assert_eq!(t.get(ObjectId(2)).unwrap().t_lst, 7.0);
+    }
+}

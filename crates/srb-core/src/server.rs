@@ -1,0 +1,707 @@
+//! The database server (paper §3.1, Algorithm 1).
+//!
+//! The server owns the four components of Figure 3.1: the object index (an
+//! R\*-tree over safe regions), the in-memory grid query index, the query
+//! processor (evaluation §4.1–§4.2 / reevaluation §4.3), and the location
+//! manager (safe-region computation §5). All communication costs flow
+//! through [`CostTracker`] and all exact locations through the
+//! [`LocationProvider`] the caller supplies.
+
+use crate::config::ServerConfig;
+use crate::eval::{evaluate_knn_ordered, evaluate_knn_unordered, evaluate_range, EvalCtx};
+use crate::grid::GridIndex;
+use crate::ids::{ObjectId, QueryId};
+use crate::object::{ObjectState, ObjectTable};
+use crate::provider::{CostTracker, LocationProvider, WorkStats};
+use crate::query::{Quarantine, QuerySpec, QueryState, ResultChange};
+use crate::reeval::reevaluate;
+use crate::safe_region::compute_safe_region;
+use srb_geom::{Circle, Point, Rect};
+use srb_index::RStarTree;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Response to a query registration: the id, the initial results, and the
+/// updated safe regions of every object probed during evaluation (step 5 of
+/// Figure 3.1 — those clients must be informed).
+#[derive(Clone, Debug)]
+pub struct RegisterResponse {
+    /// The assigned query id.
+    pub id: QueryId,
+    /// Initial result set (ordered for order-sensitive kNN).
+    pub results: Vec<ObjectId>,
+    /// New safe regions for the probed objects.
+    pub safe_regions: Vec<(ObjectId, Rect)>,
+}
+
+/// Response to a source-initiated location update: the updated object's new
+/// safe region, the new safe regions of probed objects, and the queries
+/// whose results changed.
+#[derive(Clone, Debug)]
+pub struct UpdateResponse {
+    /// New safe region of the updating object.
+    pub safe_region: Rect,
+    /// New safe regions of objects probed while reevaluating.
+    pub probed: Vec<(ObjectId, Rect)>,
+    /// Result changes to push to application servers.
+    pub changes: Vec<ResultChange>,
+}
+
+/// A scheduled deferred probe (see DESIGN.md): `epoch` is the object's
+/// last-report timestamp at scheduling time — the entry is stale (and
+/// silently dropped) if the object has reported or been probed since.
+#[derive(Debug, Clone, Copy)]
+struct Deferred {
+    due: f64,
+    oid: ObjectId,
+    epoch: f64,
+}
+
+impl PartialEq for Deferred {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for Deferred {}
+impl PartialOrd for Deferred {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deferred {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due.total_cmp(&other.due)
+    }
+}
+
+/// The SRB database server.
+pub struct Server {
+    config: ServerConfig,
+    tree: RStarTree,
+    objects: ObjectTable,
+    queries: Vec<Option<QueryState>>,
+    grid: GridIndex,
+    costs: CostTracker,
+    work: WorkStats,
+    deferred: BinaryHeap<Reverse<Deferred>>,
+}
+
+impl Server {
+    /// Creates a server with the given configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        Server {
+            tree: RStarTree::new(config.tree),
+            objects: ObjectTable::new(),
+            queries: Vec::new(),
+            grid: GridIndex::new(config.space, config.grid_m),
+            costs: CostTracker::default(),
+            work: WorkStats::default(),
+            deferred: BinaryHeap::new(),
+            config,
+        }
+    }
+
+    /// Creates a server with the default (paper Table 7.1) configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServerConfig::default())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Number of registered moving objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.iter().filter(|q| q.is_some()).count()
+    }
+
+    /// The current result set of a query.
+    pub fn results(&self, id: QueryId) -> Option<&[ObjectId]> {
+        self.queries
+            .get(id.index())
+            .and_then(|q| q.as_ref())
+            .map(|q| q.results.as_slice())
+    }
+
+    /// The current quarantine area of a query.
+    pub fn quarantine(&self, id: QueryId) -> Option<Quarantine> {
+        self.queries
+            .get(id.index())
+            .and_then(|q| q.as_ref())
+            .map(|q| q.quarantine)
+    }
+
+    /// The safe region the server believes `id` is inside.
+    pub fn safe_region(&self, id: ObjectId) -> Option<Rect> {
+        self.objects.get(id).map(|s| s.safe_region)
+    }
+
+    /// The last exactly-known location of `id` and its timestamp.
+    pub fn last_known(&self, id: ObjectId) -> Option<(Point, f64)> {
+        self.objects.get(id).map(|s| (s.p_lst, s.t_lst))
+    }
+
+    /// Accumulated communication events.
+    pub fn costs(&self) -> CostTracker {
+        self.costs
+    }
+
+    /// Accumulated work counters.
+    pub fn work(&self) -> WorkStats {
+        self.work
+    }
+
+    /// Deterministic work units: object-index node visits.
+    pub fn index_visits(&self) -> u64 {
+        self.tree.visits()
+    }
+
+    /// Size (bucket entries) of the grid query index — the footprint metric
+    /// of §7.3.
+    pub fn grid_footprint(&self) -> usize {
+        self.grid.bucket_entries()
+    }
+
+    /// Iterates over the registered query ids.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+    }
+
+    /// Verifies internal consistency (tree invariants, state coherence).
+    /// For tests.
+    pub fn check_invariants(&self) {
+        self.tree.check_invariants();
+        assert_eq!(self.tree.len(), self.objects.len());
+        for (oid, st) in self.objects.iter() {
+            let stored = self.tree.get(oid.entry()).expect("object in tree");
+            assert_eq!(stored, st.safe_region, "tree/state safe region mismatch for {oid}");
+        }
+        for qs in self.queries.iter().flatten() {
+            if let QuerySpec::Knn { k, .. } = qs.spec {
+                assert!(qs.results.len() <= k, "kNN result overflow");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Object lifecycle
+    // ------------------------------------------------------------------
+
+    /// Registers a new moving object at `pos`. The object is folded into any
+    /// query whose quarantine area covers it, and receives its initial safe
+    /// region (returned; the client must be told).
+    pub fn add_object(
+        &mut self,
+        id: ObjectId,
+        pos: Point,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Rect {
+        assert!(self.objects.get(id).is_none(), "duplicate object {id}");
+        self.tree.insert(id.entry(), Rect::point(pos));
+        self.objects.set(
+            id,
+            ObjectState { p_lst: pos, t_lst: now, safe_region: Rect::point(pos) },
+        );
+        // Fold into affected queries: any query whose quarantine contains
+        // pos may gain the new object.
+        let affected: Vec<QueryId> = self
+            .grid
+            .queries_at(pos)
+            .iter()
+            .copied()
+            .filter(|&qid| {
+                self.queries[qid.index()]
+                    .as_ref()
+                    .map(|qs| qs.quarantine.contains(pos))
+                    .unwrap_or(false)
+            })
+            .collect();
+        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
+        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
+        exact.insert(id, pos);
+        let space = self.config.space;
+        for qid in affected {
+            let mut qs = self.queries[qid.index()].take().expect("query exists");
+            {
+                let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
+                match qs.spec {
+                    QuerySpec::Range { .. } => {
+                        if !qs.is_result(id) {
+                            qs.results.push(id);
+                        }
+                    }
+                    QuerySpec::Knn { center, k, order_sensitive } => {
+                        let eval = if order_sensitive {
+                            evaluate_knn_ordered(&mut ctx, center, k, &space, &[])
+                        } else {
+                            evaluate_knn_unordered(&mut ctx, center, k, &space, &[])
+                        };
+                        qs.results = eval.results;
+                        let old = qs.quarantine.bbox();
+                        qs.quarantine = Quarantine::Circle(Circle::new(center, eval.radius));
+                        self.grid.update(qid, &old, &qs.quarantine.bbox());
+                    }
+                }
+            }
+            self.queries[qid.index()] = Some(qs);
+        }
+        self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
+        self.absorb_deferred(&mut deferred, &exact);
+        self.objects.get(id).expect("just added").safe_region
+    }
+
+    /// Removes a moving object entirely (extension beyond the paper: object
+    /// churn). Queries holding it as a result are reevaluated.
+    pub fn remove_object(
+        &mut self,
+        id: ObjectId,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Option<ResultRemoval> {
+        self.objects.get(id)?;
+        self.tree.remove(id.entry());
+        let st = self.objects.remove(id).expect("checked above");
+        let mut changes = Vec::new();
+        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
+        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
+        let space = self.config.space;
+        for qid in self.query_ids().collect::<Vec<_>>() {
+            let mut qs = self.queries[qid.index()].take().expect("query exists");
+            if qs.is_result(id) {
+                qs.results.retain(|&o| o != id);
+                match qs.spec {
+                    QuerySpec::Range { .. } => {}
+                    QuerySpec::Knn { center, k, order_sensitive } => {
+                        let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
+                        let eval = if order_sensitive {
+                            evaluate_knn_ordered(&mut ctx, center, k, &space, &[])
+                        } else {
+                            evaluate_knn_unordered(&mut ctx, center, k, &space, &[])
+                        };
+                        qs.results = eval.results;
+                        let old = qs.quarantine.bbox();
+                        qs.quarantine = Quarantine::Circle(Circle::new(center, eval.radius));
+                        self.grid.update(qid, &old, &qs.quarantine.bbox());
+                    }
+                }
+                changes.push(ResultChange { query: qid, results: qs.results.clone() });
+            }
+            self.queries[qid.index()] = Some(qs);
+        }
+        let probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
+        self.absorb_deferred(&mut deferred, &exact);
+        Some(ResultRemoval { last_state: st, changes, probed })
+    }
+
+    // ------------------------------------------------------------------
+    // Query lifecycle (Algorithm 1, lines 2-7)
+    // ------------------------------------------------------------------
+
+    /// Registers a continuous query: evaluates it on safe regions (probing
+    /// lazily), computes its quarantine area, and indexes it in the grid.
+    pub fn register_query(
+        &mut self,
+        spec: QuerySpec,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> RegisterResponse {
+        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
+        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
+        let space = self.config.space;
+        let (results, quarantine) = {
+            let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
+            match spec {
+                QuerySpec::Range { rect } => {
+                    (evaluate_range(&mut ctx, &rect), Quarantine::Rect(rect))
+                }
+                QuerySpec::Knn { center, k, order_sensitive } => {
+                    let eval = if order_sensitive {
+                        evaluate_knn_ordered(&mut ctx, center, k, &space, &[])
+                    } else {
+                        evaluate_knn_unordered(&mut ctx, center, k, &space, &[])
+                    };
+                    (
+                        eval.results,
+                        Quarantine::Circle(Circle::new(center, eval.radius)),
+                    )
+                }
+            }
+        };
+        let id = self.alloc_query_id();
+        let qs = QueryState { spec, results: results.clone(), quarantine };
+        self.grid.insert(id, &qs.quarantine.bbox());
+        self.queries[id.index()] = Some(qs);
+
+        // Only probed objects need to learn about the new query (§5, case
+        // 1); their safe regions are recomputed against all constraints
+        // (the fresh computation subsumes the paper's intersection with
+        // sr_Q and can only yield a larger — still sound — region).
+        let safe_regions =
+            self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
+        let exact_all: HashMap<ObjectId, Point> =
+            safe_regions.iter().map(|&(o, _)| (o, Point::ORIGIN)).collect();
+        self.absorb_deferred(&mut deferred, &exact_all);
+        RegisterResponse { id, results, safe_regions }
+    }
+
+    /// Deregisters a query (Algorithm 1 lines 6-7). Safe regions are not
+    /// eagerly enlarged; they regrow on the next update of each object.
+    pub fn deregister_query(&mut self, id: QueryId) -> bool {
+        let Some(slot) = self.queries.get_mut(id.index()) else {
+            return false;
+        };
+        let Some(qs) = slot.take() else { return false };
+        self.grid.remove(id, &qs.quarantine.bbox());
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Location updates (Algorithm 1, lines 8-15)
+    // ------------------------------------------------------------------
+
+    /// Handles a source-initiated location update: finds affected queries
+    /// via the grid, incrementally reevaluates them (probing lazily),
+    /// reports result changes, and recomputes the safe regions of the
+    /// updating object and every probed object.
+    pub fn handle_location_update(
+        &mut self,
+        id: ObjectId,
+        pos: Point,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> UpdateResponse {
+        self.costs.source_updates += 1;
+        self.process_report(id, pos, provider, now)
+    }
+
+    /// Handles a *batch* of simultaneous source-initiated updates
+    /// consistently: all reported positions are installed first (so no
+    /// query is evaluated against a stale bound of a same-instant mover),
+    /// then each affected query is reevaluated exactly once — incrementally
+    /// when a single mover affects it, from scratch when several do. This
+    /// both preserves exactness under synchronized client check ticks and
+    /// shares evaluation work across movers (in the spirit of SINA's shared
+    /// execution).
+    pub fn handle_location_updates(
+        &mut self,
+        updates: &[(ObjectId, Point)],
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        if updates.is_empty() {
+            return Vec::new();
+        }
+        self.costs.source_updates += updates.len() as u64;
+        if updates.len() == 1 {
+            let (id, pos) = updates[0];
+            return vec![(id, self.process_report(id, pos, provider, now))];
+        }
+        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
+        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
+        let mut prev: HashMap<ObjectId, Point> = HashMap::new();
+        for &(id, pos) in updates {
+            let st = *self.objects.get(id).expect("unknown object");
+            prev.insert(id, st.p_lst);
+            self.tree.update(id.entry(), Rect::point(pos));
+            exact.insert(id, pos);
+        }
+
+        // Affected-query candidates, with the set of movers per query.
+        let mut per_query: Vec<(QueryId, Vec<ObjectId>)> = Vec::new();
+        for &(id, pos) in updates {
+            let p_lst = prev[&id];
+            let mut candidates: Vec<QueryId> = self.grid.queries_at(pos).to_vec();
+            for &qp in self.grid.queries_at(p_lst) {
+                if !candidates.contains(&qp) {
+                    candidates.push(qp);
+                }
+            }
+            for qid in candidates {
+                match per_query.iter_mut().find(|(q, _)| *q == qid) {
+                    Some((_, movers)) => {
+                        if !movers.contains(&id) {
+                            movers.push(id);
+                        }
+                    }
+                    None => per_query.push((qid, vec![id])),
+                }
+            }
+        }
+        per_query.sort_by_key(|(q, _)| *q);
+
+        let space = self.config.space;
+        let mut changes = Vec::new();
+        for (qid, movers) in per_query {
+            let Some(mut qs) = self.queries[qid.index()].take() else {
+                continue;
+            };
+            let old_bbox = qs.quarantine.bbox();
+            let outcome = if movers.len() == 1 {
+                let id = movers[0];
+                let pos = exact[&id];
+                let p_lst = prev[&id];
+                let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
+                reevaluate(&mut ctx, &mut qs, id, pos, p_lst, &space)
+            } else {
+                let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
+                crate::reeval::reevaluate_multi(&mut ctx, &mut qs, &movers, &prev, &space)
+            };
+            if outcome.quarantine_changed {
+                self.grid.update(qid, &old_bbox, &qs.quarantine.bbox());
+            }
+            if outcome.results_changed {
+                changes.push(ResultChange { query: qid, results: qs.results.clone() });
+            }
+            self.queries[qid.index()] = Some(qs);
+        }
+
+        let probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
+        let exact_all: HashMap<ObjectId, Point> =
+            probed.iter().map(|&(o, _)| (o, Point::ORIGIN)).collect();
+        self.absorb_deferred(&mut deferred, &exact_all);
+
+        // Assemble per-updater responses; probed bystanders ride along with
+        // the first updater.
+        let mut responses: Vec<(ObjectId, UpdateResponse)> = Vec::new();
+        let mut extra: Vec<(ObjectId, Rect)> = Vec::new();
+        let updater_ids: Vec<ObjectId> = updates.iter().map(|&(id, _)| id).collect();
+        for (oid, sr) in probed {
+            if updater_ids.contains(&oid) {
+                responses.push((
+                    oid,
+                    UpdateResponse { safe_region: sr, probed: Vec::new(), changes: Vec::new() },
+                ));
+            } else {
+                extra.push((oid, sr));
+            }
+        }
+        if let Some(first) = responses.first_mut() {
+            first.1.probed = extra;
+            first.1.changes = changes;
+        }
+        responses
+    }
+
+    /// Shared body of source-initiated updates and deferred probes.
+    fn process_report(
+        &mut self,
+        id: ObjectId,
+        pos: Point,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> UpdateResponse {
+        let st = *self.objects.get(id).expect("unknown object");
+        let p_lst = st.p_lst;
+
+        // The object's stored region no longer bounds it; replace it with
+        // the exact point so index-based evaluation stays sound.
+        self.tree.update(id.entry(), Rect::point(pos));
+        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
+        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
+        exact.insert(id, pos);
+
+        // Affected-query candidates: buckets of the new and old cells.
+        let mut candidates: Vec<QueryId> = self.grid.queries_at(pos).to_vec();
+        for &q in self.grid.queries_at(p_lst) {
+            if !candidates.contains(&q) {
+                candidates.push(q);
+            }
+        }
+
+        let mut changes = Vec::new();
+        let space = self.config.space;
+        for qid in candidates {
+            let Some(mut qs) = self.queries[qid.index()].take() else {
+                continue;
+            };
+            let old_bbox = qs.quarantine.bbox();
+            let outcome = {
+                let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
+                reevaluate(&mut ctx, &mut qs, id, pos, p_lst, &space)
+            };
+            if outcome.quarantine_changed {
+                self.grid.update(qid, &old_bbox, &qs.quarantine.bbox());
+            }
+            if outcome.results_changed {
+                changes.push(ResultChange { query: qid, results: qs.results.clone() });
+            }
+            self.queries[qid.index()] = Some(qs);
+        }
+
+        let mut probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
+        self.absorb_deferred(&mut deferred, &exact);
+        let safe_region = probed
+            .iter()
+            .position(|(o, _)| *o == id)
+            .map(|i| probed.remove(i).1)
+            .expect("updating object gets a safe region");
+        UpdateResponse { safe_region, probed, changes }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn alloc_query_id(&mut self) -> QueryId {
+        for (i, slot) in self.queries.iter().enumerate() {
+            if slot.is_none() {
+                return QueryId(i as u32);
+            }
+        }
+        self.queries.push(None);
+        QueryId((self.queries.len() - 1) as u32)
+    }
+
+    fn ctx<'a>(
+        &'a mut self,
+        exact: &'a mut HashMap<ObjectId, Point>,
+        deferred: &'a mut Vec<(ObjectId, f64)>,
+        provider: &'a mut dyn LocationProvider,
+        now: f64,
+    ) -> EvalCtx<'a> {
+        EvalCtx {
+            tree: &self.tree,
+            objects: &self.objects,
+            exact,
+            provider,
+            costs: &mut self.costs,
+            work: &mut self.work,
+            deferred,
+            max_speed: self.config.max_speed,
+            now,
+        }
+    }
+
+    /// Moves evaluation-time deferral requests into the timer queue.
+    /// Requests for objects that ended up exactly known in this operation
+    /// are dropped — their safe regions were just recomputed.
+    fn absorb_deferred(&mut self, scratch: &mut Vec<(ObjectId, f64)>, exact: &HashMap<ObjectId, Point>) {
+        for (oid, due) in scratch.drain(..) {
+            if exact.contains_key(&oid) {
+                continue;
+            }
+            let Some(st) = self.objects.get(oid) else { continue };
+            self.deferred.push(Reverse(Deferred { due, oid, epoch: st.t_lst }));
+        }
+    }
+
+    /// The earliest pending deferred-probe time, if any. Stale entries are
+    /// discarded lazily. Event-driven callers (the simulator) use this to
+    /// schedule [`process_deferred`](Self::process_deferred).
+    pub fn next_deferred_due(&mut self) -> Option<f64> {
+        while let Some(Reverse(d)) = self.deferred.peek() {
+            let fresh = self
+                .objects
+                .get(d.oid)
+                .map(|st| st.t_lst == d.epoch)
+                .unwrap_or(false);
+            if fresh {
+                return Some(d.due);
+            }
+            self.deferred.pop();
+        }
+        None
+    }
+
+    /// Fires every deferred probe due at or before `now`: each still-fresh
+    /// target is probed (cost `c_p`) and handled like a server-initiated
+    /// update, restoring raw-safe-region soundness before the reachability
+    /// circle can invalidate the decision that scheduled it.
+    pub fn process_deferred(
+        &mut self,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        let mut out = Vec::new();
+        loop {
+            let Some(due) = self.next_deferred_due() else { break };
+            if due > now + 1e-12 {
+                break;
+            }
+            let Some(Reverse(d)) = self.deferred.pop() else { break };
+            let pos = provider.probe(d.oid);
+            self.costs.probes += 1;
+            out.push((d.oid, self.process_report(d.oid, pos, provider, now)));
+        }
+        out
+    }
+
+
+    /// Recomputes and installs safe regions for every exactly-known object
+    /// of this server operation (Algorithm 1, lines 14-15). Returns the new
+    /// regions.
+    fn recompute_safe_regions(
+        &mut self,
+        exact: &mut HashMap<ObjectId, Point>,
+        deferred: &mut Vec<(ObjectId, f64)>,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, Rect)> {
+        let mut out: Vec<(ObjectId, Rect)> = Vec::with_capacity(exact.len());
+        // Worklist in deterministic (id) order. Recomputing one object's
+        // ring can probe a conflicting neighbor (see
+        // `safe_region::neighbor_bound`), which inserts it into `exact` —
+        // the loop picks it up until fixpoint. Objects already recomputed
+        // leave the invalid set, so later ring bounds use their fresh safe
+        // regions.
+        loop {
+            let Some(oid) = exact
+                .keys()
+                .copied()
+                .filter(|o| !out.iter().any(|(done, _)| done == o))
+                .min()
+            else {
+                break;
+            };
+            let pos = exact.remove(&oid).expect("picked from map");
+            let p_lst = self.objects.get(oid).map(|s| s.p_lst).unwrap_or(pos);
+            let steadiness = self.config.steadiness;
+            let grid = std::mem::replace(&mut self.grid, GridIndex::new(self.config.space, 1));
+            let queries = std::mem::take(&mut self.queries);
+            let sr = {
+                let mut ctx = self.ctx(exact, deferred, provider, now);
+                compute_safe_region(
+                    &mut ctx,
+                    &grid,
+                    &queries,
+                    oid,
+                    pos,
+                    p_lst,
+                    steadiness,
+                )
+            };
+            self.grid = grid;
+            self.queries = queries;
+            self.work.safe_regions += 1;
+            self.tree.update(oid.entry(), sr);
+            self.objects.set(oid, ObjectState { p_lst: pos, t_lst: now, safe_region: sr });
+            out.push((oid, sr));
+        }
+        out
+    }
+}
+
+/// Result of [`Server::remove_object`].
+#[derive(Clone, Debug)]
+pub struct ResultRemoval {
+    /// The removed object's last known state.
+    pub last_state: ObjectState,
+    /// Queries whose results changed.
+    pub changes: Vec<ResultChange>,
+    /// Safe regions recomputed for objects probed during the removal.
+    pub probed: Vec<(ObjectId, Rect)>,
+}

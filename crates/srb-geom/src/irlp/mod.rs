@@ -1,0 +1,164 @@
+//! *Ir-lp* computations — the **I**nscribed **r**ectangle with the
+//! **l**ongest **p**erimeter, the building block of safe-region computation
+//! (paper §5).
+//!
+//! Each function answers the same question for a different constraint shape:
+//! *given the shape, the object's current location `p`, and the grid cell the
+//! safe region must stay inside, which axis-aligned rectangle containing `p`
+//! maximizes the (possibly weighted) perimeter while respecting the shape?*
+//!
+//! | function | shape | paper |
+//! |---|---|---|
+//! | [`irlp_circle`] | inside a circle | Prop 5.2 |
+//! | [`irlp_circle_complement`] | outside a circle | Prop 5.4 (corrected — see DESIGN.md §5) |
+//! | [`irlp_ring`] | inside a ring | Prop 5.5 (+ corner-contact fallback) |
+//! | [`irlp_rect_complement_batch`] | outside a set of rectangles | Prop 5.6 + greedy union |
+//!
+//! All results are intersected with `cell` and are guaranteed to contain `p`
+//! whenever a result is returned at all.
+
+mod circle;
+mod complement;
+mod ring;
+mod staircase;
+
+pub use circle::irlp_circle;
+pub use complement::irlp_circle_complement;
+pub use ring::irlp_ring;
+pub use staircase::irlp_rect_complement_batch;
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Tolerance used for boundary classifications inside the Ir-lp routines.
+pub(crate) const EPS: f64 = 1e-12;
+
+/// Interior padding applied to θ-ranges whose endpoints are *p-binding*
+/// (the rectangle edge would pass exactly through `p`). Perimeter
+/// maximization drives the optimum onto those constraints, which would put
+/// every object exactly on its safe-region boundary — an object moving
+/// toward that edge would have to update instantly and continuously.
+/// Backing off by a 1e-3 fraction of the range costs a negligible amount of
+/// perimeter and guarantees positive clearance, bounding the update rate.
+pub(crate) const RANGE_PAD: f64 = 1e-3;
+
+/// Pads a θ-range inward at the p-binding ends; falls back to the original
+/// range when it would invert.
+pub(crate) fn pad_range(lo: f64, hi: f64, pad_lo: bool, pad_hi: bool) -> (f64, f64) {
+    let pad = RANGE_PAD * (hi - lo);
+    let lo2 = if pad_lo { lo + pad } else { lo };
+    let hi2 = if pad_hi { hi - pad } else { hi };
+    if lo2 <= hi2 {
+        (lo2, hi2)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// A local frame that maps the quadrant of `p` relative to `origin` onto the
+/// first quadrant (`u, v >= 0`), so each Ir-lp derivation can assume the
+/// paper's "without loss of generality" normalization.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct QuadFrame {
+    origin: Point,
+    sx: f64,
+    sy: f64,
+}
+
+impl QuadFrame {
+    /// Frame whose positive quadrant contains `p` (ties broken toward `+`).
+    pub fn toward(origin: Point, p: Point) -> Self {
+        QuadFrame {
+            origin,
+            sx: if p.x >= origin.x { 1.0 } else { -1.0 },
+            sy: if p.y >= origin.y { 1.0 } else { -1.0 },
+        }
+    }
+
+    /// Local coordinates of a world point.
+    #[inline]
+    pub fn to_local(&self, p: Point) -> Point {
+        Point::new(self.sx * (p.x - self.origin.x), self.sy * (p.y - self.origin.y))
+    }
+
+    /// Converts a local-coordinate rectangle `[u1,u2] x [v1,v2]` back to a
+    /// world rectangle.
+    #[inline]
+    pub fn rect_to_world(&self, u1: f64, u2: f64, v1: f64, v2: f64) -> Rect {
+        debug_assert!(u1 <= u2 && v1 <= v2);
+        let (x1, x2) = if self.sx > 0.0 {
+            (self.origin.x + u1, self.origin.x + u2)
+        } else {
+            (self.origin.x - u2, self.origin.x - u1)
+        };
+        let (y1, y2) = if self.sy > 0.0 {
+            (self.origin.y + v1, self.origin.y + v2)
+        } else {
+            (self.origin.y - v2, self.origin.y - v1)
+        };
+        Rect::new(Point::new(x1, y1), Point::new(x2, y2))
+    }
+}
+
+/// Clips `rect` to `cell` and keeps it only if it still contains `p`
+/// (within a 1e-9 tolerance, after which the rectangle is snapped to contain
+/// `p` exactly — candidate corners computed from trig identities can miss
+/// `p`'s own coordinate by an ulp).
+#[inline]
+pub(crate) fn clip_containing(rect: Rect, cell: &Rect, p: Point) -> Option<Rect> {
+    const TOL: f64 = 1e-9;
+    let r = rect.intersection(cell)?;
+    if p.x >= r.min().x - TOL
+        && p.x <= r.max().x + TOL
+        && p.y >= r.min().y - TOL
+        && p.y <= r.max().y + TOL
+    {
+        Some(r.union_point(p))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod frame_tests {
+    use super::*;
+
+    #[test]
+    fn frame_maps_p_to_first_quadrant() {
+        let q = Point::new(0.5, 0.5);
+        for p in [
+            Point::new(0.7, 0.9),
+            Point::new(0.2, 0.9),
+            Point::new(0.2, 0.1),
+            Point::new(0.7, 0.1),
+        ] {
+            let f = QuadFrame::toward(q, p);
+            let l = f.to_local(p);
+            assert!(l.x >= 0.0 && l.y >= 0.0, "{p:?} -> {l:?}");
+        }
+    }
+
+    #[test]
+    fn rect_round_trip() {
+        let q = Point::new(0.5, 0.5);
+        let p = Point::new(0.2, 0.1); // third quadrant
+        let f = QuadFrame::toward(q, p);
+        let world = f.rect_to_world(0.1, 0.3, 0.2, 0.4);
+        // u in [0.1, 0.3] with sx = -1 -> x in [0.5-0.3, 0.5-0.1] = [0.2, 0.4]
+        assert!((world.min().x - 0.2).abs() < 1e-12);
+        assert!((world.max().x - 0.4).abs() < 1e-12);
+        // v in [0.2, 0.4] with sy = -1 -> y in [0.1, 0.3]
+        assert!((world.min().y - 0.1).abs() < 1e-12);
+        assert!((world.max().y - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_containing_rejects_when_p_clipped_away() {
+        let cell = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let rect = Rect::new(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        // p inside rect but outside cell -> after clipping p is gone
+        assert!(clip_containing(rect, &cell, Point::new(1.5, 1.5)).is_none());
+        // p inside both -> kept
+        assert!(clip_containing(rect, &cell, Point::new(0.7, 0.7)).is_some());
+    }
+}

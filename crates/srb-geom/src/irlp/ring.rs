@@ -1,0 +1,218 @@
+//! Ir-lp of a ring (paper §5.2.3, Proposition 5.5).
+//!
+//! The constraint keeps an order-sensitive kNN result object between its
+//! neighbors: `p` must stay at a distance in `[inner, outer]` from the query
+//! point. Proposition 5.5 considers two layouts — a rectangle tangent to the
+//! inner circle horizontally (I) or vertically (II), with its far corners on
+//! the outer circle. Neither layout contains `p` when `p` sits near the
+//! ring's diagonal with both `|Δx| < inner` and `|Δy| < inner`; for those
+//! inputs this implementation adds a *corner-contact* layout (III) whose
+//! inner corner slides on the inner circle (see DESIGN.md §5).
+
+use super::{clip_containing, pad_range, EPS, QuadFrame};
+use crate::circle::Ring;
+use crate::objective::{better_of, optimize_theta, PerimeterObjective};
+use crate::point::Point;
+use crate::rect::Rect;
+use std::f64::consts::FRAC_PI_4;
+
+/// Computes the longest-perimeter rectangle containing `p`, inside `cell`,
+/// whose points all lie within the ring (outside the open inner disc, inside
+/// the closed outer disc).
+///
+/// Returns `None` when `p` lies outside the closed ring or outside `cell`.
+pub fn irlp_ring<O>(ring: &Ring, p: Point, cell: &Rect, objective: &O) -> Option<Rect>
+where
+    O: PerimeterObjective + ?Sized,
+{
+    if !cell.contains_point(p) {
+        return None;
+    }
+    let q = ring.center;
+    let (r, big_r) = (ring.inner, ring.outer);
+    let d = q.dist(p);
+    if d < r - EPS || d > big_r + EPS {
+        return None;
+    }
+    if big_r - r <= EPS && big_r <= EPS {
+        return clip_containing(Rect::point(p), cell, p);
+    }
+    if r <= EPS {
+        // Degenerate ring = circle.
+        return super::irlp_circle(&ring.outer_circle(), p, cell, objective);
+    }
+    let frame = QuadFrame::toward(q, p);
+    let local = frame.to_local(p);
+    let (dx, dy) = (local.x.min(big_r), local.y.min(big_r));
+    // Outer-corner constraint range shared by all layouts: corners at
+    // (R sinθ, R cosθ) must reach past p: R sinθ >= dx and R cosθ >= dy.
+    let theta_x = (dx / big_r).asin();
+    let theta_y = (dy / big_r).acos();
+    if theta_x > theta_y + 1e-9 {
+        return None; // numerically outside the outer circle
+    }
+    let (t_lo, t_hi) = (theta_x.min(theta_y), theta_y.max(theta_x));
+    let mut best: Option<Rect> = None;
+
+    // Layout I: horizontal tangent side at v = r; rectangle
+    // [-R sinθ, R sinθ] x [r, R cosθ]. Feasible only when p is past the
+    // tangent line (dy >= r) and the far side clears it (R cosθ >= r).
+    if dy >= r - EPS {
+        let hi = t_hi.min((r / big_r).acos());
+        if t_lo <= hi + 1e-9 {
+            let (t_lo, hi) = pad_range(t_lo.min(hi), hi, true, hi < (r / big_r).acos());
+            let rect_of = |theta: f64| {
+                let w = big_r * theta.sin();
+                let v2 = big_r * theta.cos();
+                if v2 < r {
+                    return None;
+                }
+                clip_containing(frame.rect_to_world(-w, w, r, v2), cell, p)
+            };
+            // Plain perimeter 4R sinθ + 2(R cosθ − r) peaks at θ = arctan 2.
+            let cand = optimize_theta(t_lo, hi.max(t_lo), 2f64.atan(), objective, rect_of);
+            best = better_of(best, cand, objective);
+        }
+    }
+
+    // Layout II: vertical tangent side at u = r; rectangle
+    // [r, R sinθ] x [-R cosθ, R cosθ]. Feasible when dx >= r.
+    if dx >= r - EPS {
+        let lo = t_lo.max((r / big_r).asin());
+        if lo <= t_hi + 1e-9 {
+            let (lo, t_hi) = pad_range(lo, lo.max(t_hi), lo > (r / big_r).asin(), true);
+            let rect_of = |theta: f64| {
+                let u2 = big_r * theta.sin();
+                let h = big_r * theta.cos();
+                if u2 < r {
+                    return None;
+                }
+                clip_containing(frame.rect_to_world(r, u2, -h, h), cell, p)
+            };
+            // Plain perimeter 4R cosθ + 2(R sinθ − r) peaks at θ = arccot 2.
+            let cand = optimize_theta(lo.min(t_hi), t_hi, 0.5f64.atan(), objective, rect_of);
+            best = better_of(best, cand, objective);
+        }
+    }
+
+    // Layout III (fallback beyond the paper): inner corner on the inner
+    // circle at angle φ, outer corner on the outer circle at angle θ:
+    // [r sinφ, R sinθ] x [r cosφ, R cosθ]. Containment of p requires
+    // r sinφ <= dx and r cosφ <= dy.
+    {
+        let phi_lo = if dy >= r { 0.0 } else { (dy.max(0.0) / r).acos() };
+        let phi_hi = if dx >= r { std::f64::consts::FRAC_PI_2 } else { (dx.max(0.0) / r).asin() };
+        if phi_lo <= phi_hi + 1e-9 {
+            // Pad the φ endpoints (inner-corner contact with p) and the
+            // outer θ range below.
+            let (phi_lo, phi_hi) = pad_range(phi_lo.min(phi_hi), phi_hi.max(phi_lo), true, true);
+            let (t_lo, t_hi) = pad_range(t_lo, t_hi, true, true);
+            let phis = [phi_lo, (phi_lo + phi_hi) * 0.5, phi_hi];
+            for phi in phis {
+                let (iu, iv) = (r * phi.sin(), r * phi.cos());
+                let rect_of = |theta: f64| {
+                    let u2 = big_r * theta.sin();
+                    let v2 = big_r * theta.cos();
+                    if u2 < iu - EPS || v2 < iv - EPS {
+                        return None;
+                    }
+                    clip_containing(frame.rect_to_world(iu, u2.max(iu), iv, v2.max(iv)), cell, p)
+                };
+                let cand = optimize_theta(t_lo, t_hi, FRAC_PI_4, objective, rect_of);
+                best = better_of(best, cand, objective);
+            }
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::OrdinaryPerimeter;
+
+    fn big_cell() -> Rect {
+        Rect::new(Point::new(-10.0, -10.0), Point::new(10.0, 10.0))
+    }
+
+    fn assert_valid(res: &Rect, ring: &Ring, p: Point, cell: &Rect) {
+        assert!(res.contains_point(p), "must contain p: {res:?} {p:?}");
+        assert!(cell.contains_rect(res), "must stay in cell: {res:?}");
+        assert!(ring.contains_rect(res), "must stay in ring: {res:?} vs {ring:?}");
+    }
+
+    #[test]
+    fn point_below_center_uses_horizontal_layout() {
+        let ring = Ring::new(Point::new(0.0, 0.0), 0.5, 2.0);
+        let p = Point::new(0.1, -1.2);
+        let res = irlp_ring(&ring, p, &big_cell(), &OrdinaryPerimeter).unwrap();
+        assert_valid(&res, &ring, p, &big_cell());
+        // Layout I at θ = arctan 2: perimeter 4R sinθ + 2(R cosθ − r)
+        // = 4·2·(2/√5) + 2·(2/√5 − 0.5) ≈ 8.05.
+        assert!(res.perimeter() > 7.5, "perimeter {}", res.perimeter());
+    }
+
+    #[test]
+    fn point_right_of_center_uses_vertical_layout() {
+        let ring = Ring::new(Point::new(0.0, 0.0), 0.5, 2.0);
+        let p = Point::new(1.2, 0.1);
+        let res = irlp_ring(&ring, p, &big_cell(), &OrdinaryPerimeter).unwrap();
+        assert_valid(&res, &ring, p, &big_cell());
+        assert!(res.perimeter() > 7.5);
+    }
+
+    #[test]
+    fn diagonal_point_needs_fallback_layout() {
+        // dx, dy both < inner: the paper's two layouts cannot contain p.
+        let ring = Ring::new(Point::new(0.0, 0.0), 1.0, 2.0);
+        let p = Point::new(0.8, 0.8); // dist ≈ 1.13, inside the ring
+        assert!(ring.contains(p));
+        let res = irlp_ring(&ring, p, &big_cell(), &OrdinaryPerimeter).unwrap();
+        assert_valid(&res, &ring, p, &big_cell());
+        assert!(res.area() > 0.0, "fallback should produce a real rect");
+    }
+
+    #[test]
+    fn asymmetric_near_miss_of_both_layouts() {
+        // dx just below inner, dy small: layouts I and II both infeasible,
+        // corner-contact layout must still cover it.
+        let ring = Ring::new(Point::new(0.0, 0.0), 1.0, 1.1);
+        let p = Point::new(0.99, 0.3);
+        assert!(ring.contains(p));
+        let res = irlp_ring(&ring, p, &big_cell(), &OrdinaryPerimeter).unwrap();
+        assert_valid(&res, &ring, p, &big_cell());
+    }
+
+    #[test]
+    fn degenerate_inner_zero_is_circle() {
+        let ring = Ring::new(Point::new(0.0, 0.0), 0.0, 1.0);
+        let p = Point::new(0.0, 0.0);
+        let res = irlp_ring(&ring, p, &big_cell(), &OrdinaryPerimeter).unwrap();
+        assert!((res.perimeter() - 4.0 * std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_outside_ring_is_infeasible() {
+        let ring = Ring::new(Point::new(0.0, 0.0), 1.0, 2.0);
+        assert!(irlp_ring(&ring, Point::new(0.1, 0.1), &big_cell(), &OrdinaryPerimeter).is_none());
+        assert!(irlp_ring(&ring, Point::new(3.0, 0.0), &big_cell(), &OrdinaryPerimeter).is_none());
+    }
+
+    #[test]
+    fn cell_clipping_respected() {
+        let ring = Ring::new(Point::new(0.0, 0.0), 0.5, 2.0);
+        let cell = Rect::new(Point::new(0.0, -1.5), Point::new(1.5, 0.0));
+        let p = Point::new(0.6, -0.6);
+        let res = irlp_ring(&ring, p, &cell, &OrdinaryPerimeter).unwrap();
+        assert_valid(&res, &ring, p, &cell);
+    }
+
+    #[test]
+    fn thin_ring_still_returns_something() {
+        let ring = Ring::new(Point::new(0.0, 0.0), 0.999, 1.001);
+        let p = Point::new(1.0, 0.0);
+        let res = irlp_ring(&ring, p, &big_cell(), &OrdinaryPerimeter).unwrap();
+        assert_valid(&res, &ring, p, &big_cell());
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the Ir-lp constructions of paper §5.
+//!
+//! Invariants checked for every construction, on randomized inputs:
+//! 1. the result contains the object location `p`;
+//! 2. the result stays inside the grid cell;
+//! 3. the result respects the quarantine constraint (inside the circle /
+//!    ring, outside the disc / blocking rectangles);
+//! 4. the result is never *worse* than an easily-constructed feasible
+//!    baseline rectangle (so the optimizer cannot silently degenerate).
+
+use proptest::prelude::*;
+use srb_geom::{
+    irlp_circle, irlp_circle_complement, irlp_rect_complement_batch, irlp_ring, Circle,
+    OrdinaryPerimeter, Point, Rect, Ring, WeightedPerimeter,
+};
+
+const TOL: f64 = 1e-7;
+
+fn unit_cell() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+}
+
+prop_compose! {
+    /// A cell inside the unit square together with a point inside the cell.
+    fn cell_and_point()(cx in 0.05f64..0.95, cy in 0.05f64..0.95,
+                        hw in 0.01f64..0.5, hh in 0.01f64..0.5,
+                        fx in 0.0f64..=1.0, fy in 0.0f64..=1.0) -> (Rect, Point) {
+        let cell = Rect::centered(Point::new(cx, cy), hw, hh)
+            .intersection(&unit_cell()).unwrap();
+        let p = Point::new(
+            cell.min().x + fx * cell.width(),
+            cell.min().y + fy * cell.height(),
+        );
+        (cell, p)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn circle_irlp_invariants(
+        (cell, p) in cell_and_point(),
+        r in 0.01f64..1.0,
+        // circle center placed so that p is inside: offset length <= r
+        frac in 0.0f64..=1.0, ang in 0.0f64..(2.0 * std::f64::consts::PI),
+    ) {
+        let q = Point::new(p.x + frac * r * ang.cos(), p.y + frac * r * ang.sin());
+        let circle = Circle::new(q, r);
+        let res = irlp_circle(&circle, p, &cell, &OrdinaryPerimeter);
+        let res = res.expect("p inside circle and cell: must be feasible");
+        prop_assert!(res.contains_point(p));
+        prop_assert!(cell.inflate(TOL).contains_rect(&res));
+        let grown = Circle::new(q, r + TOL);
+        prop_assert!(grown.contains_rect(&res), "{res:?} escapes {circle:?}");
+    }
+
+    #[test]
+    fn circle_complement_irlp_invariants(
+        (cell, p) in cell_and_point(),
+        qx in -0.5f64..1.5, qy in -0.5f64..1.5,
+        rfrac in 0.01f64..=1.0,
+    ) {
+        let q = Point::new(qx, qy);
+        let d = q.dist(p);
+        prop_assume!(d > 1e-6);
+        let r = rfrac * d; // guarantees p outside (or on) the circle
+        let circle = Circle::new(q, r);
+        let res = irlp_circle_complement(&circle, p, &cell, &OrdinaryPerimeter);
+        let res = res.expect("p outside circle, inside cell: must be feasible");
+        prop_assert!(res.contains_point(p));
+        prop_assert!(cell.inflate(TOL).contains_rect(&res));
+        prop_assert!(
+            res.min_dist(q) >= r - TOL,
+            "{res:?} pokes into circle at {q:?} r={r} (min_dist {})",
+            res.min_dist(q)
+        );
+    }
+
+    #[test]
+    fn ring_irlp_invariants(
+        (cell, p) in cell_and_point(),
+        qx in -0.5f64..1.5, qy in -0.5f64..1.5,
+        inner_frac in 0.0f64..=1.0, outer_extra in 0.0f64..=1.0,
+    ) {
+        let q = Point::new(qx, qy);
+        let d = q.dist(p);
+        prop_assume!(d > 1e-6);
+        let inner = inner_frac * d;
+        let outer = d * (1.0 + outer_extra) + 1e-9;
+        let ring = Ring::new(q, inner, outer);
+        prop_assert!(ring.contains(p));
+        let res = irlp_ring(&ring, p, &cell, &OrdinaryPerimeter);
+        let res = res.expect("p inside ring and cell: must be feasible");
+        prop_assert!(res.contains_point(p));
+        prop_assert!(cell.inflate(TOL).contains_rect(&res));
+        let grown = Ring::new(q, (inner - TOL).max(0.0), outer + TOL);
+        prop_assert!(grown.contains_rect(&res), "{res:?} escapes {ring:?}");
+    }
+
+    #[test]
+    fn batch_staircase_invariants(
+        (cell, p) in cell_and_point(),
+        blocks in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0.005f64..0.3, 0.005f64..0.3), 0..12),
+    ) {
+        let blocks: Vec<Rect> = blocks
+            .into_iter()
+            .map(|(x, y, w, h)| Rect::new(Point::new(x, y), Point::new(x + w, y + h)))
+            // Blocks strictly containing p are the infeasible case tested
+            // separately; here we keep p outside or on the boundary.
+            .filter(|b| !(p.x > b.min().x && p.x < b.max().x && p.y > b.min().y && p.y < b.max().y))
+            .collect();
+        let res = irlp_rect_complement_batch(&blocks, p, &cell, &OrdinaryPerimeter);
+        prop_assert!(res.contains_point(p));
+        prop_assert!(cell.inflate(TOL).contains_rect(&res));
+        for b in &blocks {
+            // No point of the result may lie strictly inside a block — this
+            // is stronger than positive-area overlap and covers degenerate
+            // (zero-width) safe regions too.
+            let clipped = res.intersection(b);
+            if let Some(c) = clipped {
+                let interior = c.min().x > b.min().x + TOL
+                    || c.max().x < b.max().x - TOL
+                    || c.min().y > b.min().y + TOL
+                    || c.max().y < b.max().y - TOL;
+                // The intersection must lie on the block boundary: its
+                // extent along some axis collapses onto a block edge.
+                let on_x_edge = (c.max().x - b.min().x).abs() < TOL
+                    || (c.min().x - b.max().x).abs() < TOL;
+                let on_y_edge = (c.max().y - b.min().y).abs() < TOL
+                    || (c.min().y - b.max().y).abs() < TOL;
+                prop_assert!(
+                    on_x_edge || on_y_edge || !interior,
+                    "{res:?} enters block {b:?} (intersection {c:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_staircase_beats_single_axis_cut(
+        (_, p) in cell_and_point(),
+        bx in 0.0f64..0.9, by in 0.0f64..0.9,
+    ) {
+        // One block; the optimal single-quadrant answer is a simple slab.
+        let cell = unit_cell();
+        let block = Rect::new(Point::new(bx, by), Point::new(bx + 0.1, by + 0.1));
+        prop_assume!(!block.contains_point(p));
+        let res = irlp_rect_complement_batch(&[block], p, &cell, &OrdinaryPerimeter);
+        // Baseline: the best of the four slabs that avoid the block entirely
+        // and contain p.
+        let mut baseline: f64 = 0.0;
+        let slabs = [
+            Rect::new(cell.min(), Point::new(bx, 1.0)),
+            Rect::new(Point::new(bx + 0.1, 0.0), cell.max()),
+            Rect::new(cell.min(), Point::new(1.0, by)),
+            Rect::new(Point::new(0.0, by + 0.1), cell.max()),
+        ];
+        for s in slabs {
+            if s.min().x <= s.max().x && s.min().y <= s.max().y && s.contains_point(p) {
+                baseline = baseline.max(s.perimeter());
+            }
+        }
+        prop_assert!(
+            res.perimeter() >= baseline - TOL,
+            "staircase {} < slab baseline {}", res.perimeter(), baseline
+        );
+    }
+
+    #[test]
+    fn weighted_objective_keeps_invariants(
+        (cell, p) in cell_and_point(),
+        qx in -0.2f64..1.2, qy in -0.2f64..1.2,
+        rfrac in 0.01f64..=1.0,
+        plx in 0.0f64..1.0, ply in 0.0f64..1.0,
+        d in 0.0f64..=1.0,
+    ) {
+        // The weighted-perimeter objective must not break feasibility.
+        let q = Point::new(qx, qy);
+        let dist = q.dist(p);
+        prop_assume!(dist > 1e-6);
+        let r = rfrac * dist;
+        let circle = Circle::new(q, r);
+        let w = WeightedPerimeter::new(p, Point::new(plx, ply), d);
+        let res = irlp_circle_complement(&circle, p, &cell, &w);
+        let res = res.expect("feasible under any objective");
+        prop_assert!(res.contains_point(p));
+        prop_assert!(cell.inflate(TOL).contains_rect(&res));
+        prop_assert!(res.min_dist(q) >= r - TOL);
+    }
+
+    #[test]
+    fn rect_distance_bounds_hold(
+        (cell, p) in cell_and_point(),
+        sx in 0.0f64..=1.0, sy in 0.0f64..=1.0,
+        ox in -1.0f64..2.0, oy in -1.0f64..2.0,
+    ) {
+        // δ(o,R) <= d(o, any point of R) <= Δ(o,R), sampled.
+        let o = Point::new(ox, oy);
+        let sample = Point::new(
+            cell.min().x + sx * cell.width(),
+            cell.min().y + sy * cell.height(),
+        );
+        let d = o.dist(sample);
+        prop_assert!(cell.min_dist(o) <= d + 1e-12, "p sample {sample:?}");
+        prop_assert!(cell.max_dist(o) >= d - 1e-12);
+        // And p is inside the cell, so δ(p, cell) = 0.
+        prop_assert_eq!(cell.min_dist(p), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Run metrics (paper §7.1): monitoring accuracy, amortized wireless
+//! communication cost, and server CPU time, plus deterministic work units
+//! and per-distance normalizations used by individual figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics of one simulation run.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Fraction of `(query, sample)` pairs where the monitored result set
+    /// exactly matched the ground truth (`ma(Q, t)` time-averaged).
+    pub accuracy: f64,
+    /// Source-initiated updates received by the server.
+    pub uplinks: u64,
+    /// Server-initiated probes issued.
+    pub probes: u64,
+    /// Amortized wireless cost per client per time unit
+    /// (`(uplinks·c_l + probes·c_p) / (N · duration)`).
+    pub comm_cost: f64,
+    /// Amortized wireless cost per distance unit traveled (Figure 7.4a's
+    /// secondary axis).
+    pub comm_cost_per_distance: f64,
+    /// Measured server processing wall-clock seconds per simulated time
+    /// unit (query evaluation + safe-region computation + index upkeep).
+    pub cpu_seconds_per_tu: f64,
+    /// Deterministic work units per time unit: object-index node visits
+    /// plus safe-region computations (machine-independent CPU proxy).
+    pub work_units_per_tu: f64,
+    /// Total distance traveled by all clients.
+    pub total_distance: f64,
+    /// Number of ground-truth samples taken.
+    pub samples: u64,
+    /// Grid query-index footprint in bucket entries (§7.3's index size).
+    pub grid_footprint: usize,
+}
+
+impl RunMetrics {
+    /// Communication cost helper.
+    pub fn finish_comm(
+        &mut self,
+        c_l: f64,
+        c_p: f64,
+        n_objects: usize,
+        duration: f64,
+    ) {
+        let total = self.uplinks as f64 * c_l + self.probes as f64 * c_p;
+        self.comm_cost = total / (n_objects as f64 * duration);
+        self.comm_cost_per_distance = if self.total_distance > 0.0 {
+            total / self.total_distance
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Accuracy accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccuracyAcc {
+    hits: u64,
+    total: u64,
+}
+
+impl AccuracyAcc {
+    /// Records one `(query, sample)` comparison.
+    pub fn record(&mut self, matched: bool) {
+        self.total += 1;
+        if matched {
+            self.hits += 1;
+        }
+    }
+
+    /// The accuracy so far (1.0 when nothing was recorded).
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Number of comparisons recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_accumulates() {
+        let mut a = AccuracyAcc::default();
+        assert_eq!(a.value(), 1.0);
+        a.record(true);
+        a.record(true);
+        a.record(false);
+        a.record(true);
+        assert!((a.value() - 0.75).abs() < 1e-12);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn comm_cost_formula() {
+        let mut m = RunMetrics { uplinks: 100, probes: 40, total_distance: 50.0, ..Default::default() };
+        m.finish_comm(1.0, 1.5, 10, 10.0);
+        // total = 100 + 60 = 160; per client-tu = 160/100 = 1.6
+        assert!((m.comm_cost - 1.6).abs() < 1e-12);
+        assert!((m.comm_cost_per_distance - 3.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! The OPT baseline (paper §7): every client has perfect knowledge of all
+//! queries and all other objects, so it sends a source-initiated update
+//! *exactly* when its own movement changes some query result. Infeasible in
+//! practice, OPT lower-bounds the update count and defines the ground truth
+//! for the accuracy metric (its accuracy is 1 by construction).
+
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use crate::truth::evaluate_truth;
+use crate::workload::generate_workload;
+use srb_core::QuerySpec;
+use srb_geom::Point;
+use srb_mobility::{MobilityConfig, Trajectory};
+
+/// Runs the OPT scheme: result changes are detected at ground-truth sample
+/// granularity; every object whose membership or rank changed in some query
+/// sends exactly one update per change instant.
+pub fn run_opt(cfg: &SimConfig) -> RunMetrics {
+    let mob = MobilityConfig {
+        space: cfg.space,
+        mean_speed: cfg.mean_speed,
+        mean_period: cfg.mean_period,
+    };
+    let specs = generate_workload(cfg);
+    let mut trajs: Vec<Trajectory> = (0..cfg.n_objects)
+        .map(|i| Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0))
+        .collect();
+
+    let mut metrics = RunMetrics::default();
+    let positions0: Vec<Point> = trajs.iter_mut().map(|t| t.position(0.0)).collect();
+    let mut prev = evaluate_truth(&positions0, &specs);
+    let mut changed = vec![false; cfg.n_objects];
+
+    let mut t = cfg.sample_interval;
+    while t <= cfg.duration + 1e-12 {
+        let positions: Vec<Point> = trajs.iter_mut().map(|tr| tr.position(t)).collect();
+        let truth = evaluate_truth(&positions, &specs);
+        changed.iter_mut().for_each(|c| *c = false);
+        for ((spec, old), new) in specs.iter().zip(prev.iter()).zip(truth.iter()) {
+            match spec {
+                QuerySpec::Knn { order_sensitive: true, .. } => {
+                    // Any rank or membership difference implicates the
+                    // objects whose position in the sequence changed.
+                    let max_len = old.len().max(new.len());
+                    for idx in 0..max_len {
+                        let a = old.get(idx);
+                        let b = new.get(idx);
+                        if a != b {
+                            if let Some(&o) = a {
+                                changed[o as usize] = true;
+                            }
+                            if let Some(&o) = b {
+                                changed[o as usize] = true;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Set-membership changes only.
+                    for &o in old {
+                        if !new.contains(&o) {
+                            changed[o as usize] = true;
+                        }
+                    }
+                    for &o in new {
+                        if !old.contains(&o) {
+                            changed[o as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        metrics.uplinks += changed.iter().filter(|&&c| c).count() as u64;
+        metrics.samples += 1;
+        prev = truth;
+        for tr in trajs.iter_mut() {
+            tr.forget_before(t - 1.0);
+        }
+        t += cfg.sample_interval;
+    }
+
+    metrics.accuracy = 1.0;
+    metrics.probes = 0;
+    metrics.total_distance = (0..cfg.n_objects)
+        .map(|i| {
+            let mut tr = Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0);
+            tr.distance_traveled(0.0, cfg.duration)
+        })
+        .sum();
+    metrics.finish_comm(cfg.cost.c_l, cfg.cost.c_p, cfg.n_objects, cfg.duration);
+    metrics
+}

@@ -1,0 +1,129 @@
+//! The PRD (periodic monitoring) baseline (paper §7): every client sends a
+//! location update every `t_prd` time units, synchronized; the server
+//! builds a fresh R*-tree from the exact positions (by insertion, as the
+//! paper describes) and reevaluates every registered query from scratch.
+//! Results are stale between rounds — the source of PRD's accuracy gap.
+
+use crate::config::SimConfig;
+use crate::metrics::{AccuracyAcc, RunMetrics};
+use crate::truth::{evaluate_truth, results_match, TruthResults};
+use crate::workload::generate_workload;
+use srb_core::QuerySpec;
+use srb_geom::{Point, Rect};
+use srb_index::{RStarTree, TreeConfig};
+use srb_mobility::{MobilityConfig, Trajectory};
+use std::time::Instant;
+
+/// One PRD server round, as the paper describes it (§7.3): build a fresh
+/// R*-tree from the exact positions by insertion ("they need to build a new
+/// R*-tree for query reevaluation at each location updating instance") and
+/// evaluate every registered query on it. STR bulk loading would be much
+/// faster — see the `ablation_index_build` bench — but would misrepresent
+/// the baseline the paper measured.
+fn prd_round(positions: &[Point], queries: &[QuerySpec]) -> TruthResults {
+    let mut tree = RStarTree::new(TreeConfig::default());
+    for (i, &p) in positions.iter().enumerate() {
+        tree.insert(i as u64, Rect::point(p));
+    }
+    queries
+        .iter()
+        .map(|q| match q {
+            QuerySpec::Range { rect } => {
+                let mut ids: Vec<u64> = tree.search_vec(rect).iter().map(|e| e.id).collect();
+                ids.sort_unstable();
+                ids
+            }
+            QuerySpec::Knn { center, k, .. } => {
+                tree.nearest_iter(*center).take(*k).map(|n| n.id).collect()
+            }
+        })
+        .collect()
+}
+
+/// Runs the PRD scheme with update interval `t_prd`.
+pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
+    assert!(t_prd > 0.0, "PRD interval must be positive");
+    let mob = MobilityConfig {
+        space: cfg.space,
+        mean_speed: cfg.mean_speed,
+        mean_period: cfg.mean_period,
+    };
+    let specs = generate_workload(cfg);
+    let mut trajs: Vec<Trajectory> = (0..cfg.n_objects)
+        .map(|i| Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0))
+        .collect();
+
+    let mut metrics = RunMetrics::default();
+    let mut acc = AccuracyAcc::default();
+    let mut cpu = 0.0f64;
+
+    // Merge round instants and sample instants into one monotone walk.
+    // `current` holds the results computed at the latest round whose
+    // arrival time (round + delay) is in the past.
+    let mut current = {
+        let positions: Vec<Point> = trajs.iter_mut().map(|t| t.position(0.0)).collect();
+        let t0 = Instant::now();
+        let r = prd_round(&positions, &specs);
+        cpu += t0.elapsed().as_secs_f64();
+        metrics.uplinks += cfg.n_objects as u64;
+        r
+    };
+    let mut pending: Option<(f64, Vec<Vec<u64>>)> = None;
+
+    let mut next_round = t_prd;
+    let mut next_sample = cfg.sample_interval;
+    while next_round <= cfg.duration + 1e-12 || next_sample <= cfg.duration + 1e-12 {
+        let t = next_round.min(next_sample);
+        if t > cfg.duration + 1e-12 {
+            break;
+        }
+        // Deliver a pending round whose results have arrived by `t`.
+        if let Some((arrive, _)) = pending {
+            if arrive <= t {
+                current = pending.take().expect("checked").1;
+            }
+        }
+        if (t - next_round).abs() < 1e-12 {
+            // Synchronized update round: every client uplinks; the server
+            // rebuilds and reevaluates everything.
+            let positions: Vec<Point> = trajs.iter_mut().map(|tr| tr.position(t)).collect();
+            let t0 = Instant::now();
+            let results = prd_round(&positions, &specs);
+            cpu += t0.elapsed().as_secs_f64();
+            metrics.uplinks += cfg.n_objects as u64;
+            if cfg.delay == 0.0 {
+                current = results;
+            } else {
+                // A still-undelivered older round is superseded.
+                pending = Some((t + cfg.delay, results));
+            }
+            next_round += t_prd;
+        } else {
+            // Accuracy sample.
+            let positions: Vec<Point> = trajs.iter_mut().map(|tr| tr.position(t)).collect();
+            let truth = evaluate_truth(&positions, &specs);
+            for ((spec, monitored), truth_row) in
+                specs.iter().zip(current.iter()).zip(truth.iter())
+            {
+                acc.record(results_match(spec, monitored, truth_row));
+            }
+            metrics.samples += 1;
+            for tr in trajs.iter_mut() {
+                tr.forget_before(t - cfg.delay - 1.0);
+            }
+            next_sample += cfg.sample_interval;
+        }
+    }
+
+    metrics.accuracy = acc.value();
+    metrics.probes = 0;
+    metrics.total_distance = (0..cfg.n_objects)
+        .map(|i| {
+            let mut tr = Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0);
+            tr.distance_traveled(0.0, cfg.duration)
+        })
+        .sum();
+    metrics.finish_comm(cfg.cost.c_l, cfg.cost.c_p, cfg.n_objects, cfg.duration);
+    metrics.cpu_seconds_per_tu = cpu / cfg.duration;
+    metrics
+}

@@ -1,0 +1,305 @@
+//! The SRB (safe-region-based) monitoring scheme, simulated end to end
+//! (paper §7): faithful clients that report exactly on safe-region exit, a
+//! configurable one-way communication delay `τ`, server-initiated probes
+//! answered with true positions, and periodic ground-truth sampling for the
+//! accuracy metric.
+
+use crate::config::SimConfig;
+use crate::events::EventQueue;
+use crate::metrics::{AccuracyAcc, RunMetrics};
+use crate::truth::{evaluate_truth, results_match};
+use crate::workload::generate_workload;
+use srb_core::{
+    LocationProvider, ObjectId, QueryId, QuerySpec, Server, ServerConfig,
+};
+use srb_geom::{Point, Rect};
+use srb_mobility::{MobileClient, MobilityConfig, Trajectory};
+use std::time::Instant;
+
+/// Minimum spacing enforced between consecutive updates of one client even
+/// when `min_reaction` is zero, to let boundary-pinned objects make
+/// geometric progress.
+const EXIT_EPS: f64 = 1e-9;
+
+/// Rounds a raw boundary-crossing time up to the next client check tick
+/// (multiples of `g`); identity when `g == 0` (instant reaction).
+fn check_tick(te: f64, g: f64) -> f64 {
+    if g > 0.0 {
+        (te / g).ceil() * g
+    } else {
+        te
+    }
+}
+
+enum Ev {
+    /// A client crosses its safe-region boundary (valid if `version`
+    /// matches).
+    Exit { id: u32, version: u64 },
+    /// The server receives a source-initiated update (after
+    /// the uplink delay).
+    Recv { id: u32, pos: Point },
+    /// A client receives its new safe region (after the downlink delay).
+    Sr { id: u32, sr: Rect },
+    /// Consult the server's deferred-probe queue.
+    Deferred,
+    /// Ground-truth sampling instant.
+    Sample,
+}
+
+struct Provider<'a> {
+    clients: &'a mut [MobileClient],
+    now: f64,
+    probed: Vec<u32>,
+}
+
+impl LocationProvider for Provider<'_> {
+    fn probe(&mut self, id: ObjectId) -> Point {
+        self.probed.push(id.0);
+        self.clients[id.index()].position(self.now)
+    }
+}
+
+/// Runs the SRB scheme and returns the aggregated metrics.
+pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
+    let mob = MobilityConfig {
+        space: cfg.space,
+        mean_speed: cfg.mean_speed,
+        mean_period: cfg.mean_period,
+    };
+    let server_cfg = ServerConfig {
+        space: cfg.space,
+        grid_m: cfg.grid_m,
+        max_speed: cfg.reachability.then(|| cfg.max_speed()),
+        steadiness: cfg.steadiness,
+        cost: cfg.cost,
+        ..Default::default()
+    };
+    let mut server = Server::new(server_cfg);
+    let mut clients: Vec<MobileClient> = (0..cfg.n_objects)
+        .map(|i| MobileClient::new(i as u32, Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0)))
+        .collect();
+    let mut versions: Vec<u64> = vec![0; cfg.n_objects];
+    let mut last_update: Vec<f64> = vec![0.0; cfg.n_objects];
+    let mut cpu = 0.0f64;
+
+    // --- Setup: register objects, then queries (instantaneous) -----------
+    {
+        let t0 = Instant::now();
+        for i in 0..cfg.n_objects {
+            let pos = clients[i].position(0.0);
+            let mut provider = Provider { clients: &mut clients, now: 0.0, probed: Vec::new() };
+            let sr = server.add_object(ObjectId(i as u32), pos, &mut provider, 0.0);
+            clients[i].receive_safe_region(sr, 0.0);
+        }
+        cpu += t0.elapsed().as_secs_f64();
+    }
+    let specs = generate_workload(cfg);
+    let mut queries: Vec<(QueryId, QuerySpec)> = Vec::with_capacity(specs.len());
+    {
+        let t0 = Instant::now();
+        for spec in &specs {
+            let mut provider = Provider { clients: &mut clients, now: 0.0, probed: Vec::new() };
+            let resp = server.register_query(*spec, &mut provider, 0.0);
+            for (oid, sr) in resp.safe_regions {
+                clients[oid.index()].receive_safe_region(sr, 0.0);
+                versions[oid.index()] += 1;
+            }
+            queries.push((resp.id, *spec));
+        }
+        cpu += t0.elapsed().as_secs_f64();
+    }
+
+    // --- Event loop -------------------------------------------------------
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for i in 0..cfg.n_objects {
+        if let Some(te) = clients[i].next_report(0.0, cfg.duration) {
+            q.push(check_tick(te, cfg.min_reaction), Ev::Exit { id: i as u32, version: versions[i] });
+        }
+    }
+    // Sample times are computed as products (k * interval), bit-identical
+    // to the check-tick arithmetic, so same-instant reports and samples tie
+    // exactly and the class ordering (updates first) decides.
+    let mut k = 1u64;
+    while k as f64 * cfg.sample_interval <= cfg.duration + 1e-12 {
+        q.push_class(k as f64 * cfg.sample_interval, 1, Ev::Sample);
+        k += 1;
+    }
+    if let Some(due) = server.next_deferred_due() {
+        q.push(due, Ev::Deferred);
+    }
+
+    let mut acc = AccuracyAcc::default();
+    let mut metrics = RunMetrics::default();
+
+    let mut event_count: u64 = 0;
+    // Same-instant reports are batched and handed to the server together:
+    // the batch path installs every reported position before reevaluating,
+    // so no query is evaluated against a stale bound of a simultaneous
+    // mover (the paper's sequential-processing assumption, upheld at tick
+    // granularity).
+    let mut batch: Vec<(ObjectId, Point)> = Vec::new();
+    let mut batch_t = 0.0f64;
+    macro_rules! flush_batch {
+        () => {
+            if !batch.is_empty() {
+                let t0 = Instant::now();
+                let resps = {
+                    let mut provider =
+                        Provider { clients: &mut clients, now: batch_t, probed: Vec::new() };
+                    let resps = server.handle_location_updates(&batch, &mut provider, batch_t);
+                    for &p in &provider.probed {
+                        provider.clients[p as usize].mark_pending();
+                    }
+                    resps
+                };
+                cpu += t0.elapsed().as_secs_f64();
+                // Only the uplink is delayed (§7.2: "the server receives the
+                // location update τ time units after the client sends it");
+                // responses are modeled as immediate.
+                for (oid, resp) in resps {
+                    q.push(batch_t, Ev::Sr { id: oid.0, sr: resp.safe_region });
+                    for (other, sr) in resp.probed {
+                        q.push(batch_t, Ev::Sr { id: other.0, sr });
+                    }
+                }
+                if let Some(due) = server.next_deferred_due() {
+                    q.push(due, Ev::Deferred);
+                }
+                batch.clear();
+            }
+        };
+    }
+    while let Some((t, ev)) = q.pop() {
+        if t > cfg.duration + 1e-12 {
+            break;
+        }
+        if !batch.is_empty() && (!matches!(ev, Ev::Recv { .. }) || t > batch_t + 1e-12) {
+            flush_batch!();
+        }
+        event_count += 1;
+        if event_count % 1_000_000 == 0 && std::env::var_os("SRB_TRACE").is_some() {
+            eprintln!("[srb-sim] {event_count} events, t = {t:.6}, queue = {}", q.len());
+        }
+        match ev {
+            Ev::Exit { id, version } => {
+                let i = id as usize;
+                if versions[i] != version {
+                    continue; // stale: the safe region changed meanwhile
+                }
+                let pos = clients[i].position(t);
+                // With a finite check granularity the client may have dipped
+                // out and come back since the raw crossing: only report if
+                // it is outside *now*.
+                if let Some(sr) = clients[i].safe_region() {
+                    if sr.contains_point(pos) {
+                        if let Some(te) = clients[i].next_report(t + EXIT_EPS, cfg.duration) {
+                            q.push(check_tick(te, cfg.min_reaction), Ev::Exit { id, version });
+                        }
+                        continue;
+                    }
+                }
+                clients[i].mark_pending();
+                q.push(t + cfg.delay, Ev::Recv { id, pos });
+            }
+            Ev::Recv { id, pos } => {
+                last_update[id as usize] = t;
+                batch_t = t;
+                batch.push((ObjectId(id), pos));
+                // Keep buffering only while more reports arrive at this
+                // same instant; otherwise process now so clients resume
+                // tracking without a gap.
+                if q.peek_time().map_or(true, |nt| nt > t + 1e-12) {
+                    flush_batch!();
+                }
+            }
+            Ev::Sr { id, sr } => {
+                let i = id as usize;
+                versions[i] += 1;
+                if clients[i].receive_safe_region(sr, t) {
+                    let from = t.max(last_update[i] + EXIT_EPS);
+                    if let Some(te) = clients[i].next_report(from, cfg.duration) {
+                        let at = check_tick(te, cfg.min_reaction).max(last_update[i] + EXIT_EPS);
+                        q.push(at, Ev::Exit { id, version: versions[i] });
+                    }
+                } else {
+                    // Already outside the (stale) region: report again at
+                    // the next check tick.
+                    let at = check_tick(t + EXIT_EPS, cfg.min_reaction).max(t);
+                    versions[i] += 1;
+                    q.push(at, Ev::Exit { id, version: versions[i] });
+                }
+            }
+            Ev::Deferred => {
+                let due = server.next_deferred_due();
+                match due {
+                    Some(d) if d <= t + 1e-12 => {
+                        let t0 = Instant::now();
+                        let resps = {
+                            let mut provider =
+                                Provider { clients: &mut clients, now: t, probed: Vec::new() };
+                            let resps = server.process_deferred(&mut provider, t);
+                            for &p in &provider.probed {
+                                provider.clients[p as usize].mark_pending();
+                            }
+                            resps
+                        };
+                        cpu += t0.elapsed().as_secs_f64();
+                        for (oid, resp) in resps {
+                            q.push(t, Ev::Sr { id: oid.0, sr: resp.safe_region });
+                            for (other, sr) in resp.probed {
+                                q.push(t, Ev::Sr { id: other.0, sr });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                if let Some(d) = server.next_deferred_due() {
+                    q.push(d, Ev::Deferred);
+                }
+            }
+            Ev::Sample => {
+                let positions: Vec<Point> =
+                    (0..cfg.n_objects).map(|i| clients[i].position(t)).collect();
+                let truth = evaluate_truth(&positions, &specs);
+                for ((qid, spec), truth_row) in queries.iter().zip(truth.iter()) {
+                    let monitored: Vec<u64> = server
+                        .results(*qid)
+                        .map(|r| r.iter().map(|o| o.0 as u64).collect())
+                        .unwrap_or_default();
+                    acc.record(results_match(spec, &monitored, truth_row));
+                }
+                metrics.samples += 1;
+                let horizon = t - cfg.delay - 1.0;
+                for c in clients.iter_mut() {
+                    c.forget_before(horizon);
+                }
+            }
+        }
+    }
+
+    flush_batch!();
+
+    // --- Finish -----------------------------------------------------------
+    metrics.accuracy = acc.value();
+    let costs = server.costs();
+    metrics.uplinks = costs.source_updates;
+    metrics.probes = costs.probes;
+    metrics.total_distance = clients
+        .iter_mut()
+        .map(|c| {
+            // Recreate the trajectory to integrate the full arc length —
+            // the live one has forgotten early history.
+            let mut t = Trajectory::random_waypoint(cfg.seed, c.id as u64, mob, 0.0);
+            t.distance_traveled(0.0, cfg.duration)
+        })
+        .sum();
+    metrics.finish_comm(cfg.cost.c_l, cfg.cost.c_p, cfg.n_objects, cfg.duration);
+    metrics.cpu_seconds_per_tu = cpu / cfg.duration;
+    metrics.work_units_per_tu =
+        (server.index_visits() as f64 + server.work().safe_regions as f64) / cfg.duration;
+    metrics.grid_footprint = server.grid_footprint();
+    if std::env::var_os("SRB_TRACE").is_some() {
+        eprintln!("[srb-sim stats] {:?}", server.work());
+    }
+    metrics
+}

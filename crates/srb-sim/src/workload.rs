@@ -1,0 +1,77 @@
+//! Deterministic query-workload generation (paper §7.1): `W` queries, half
+//! continuous range queries (squares with side `U[0.5·q_len, 1.5·q_len]`),
+//! half order-sensitive kNN queries with `k ~ U[1, k_max]`.
+
+use crate::config::SimConfig;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use srb_core::QuerySpec;
+use srb_geom::{Point, Rect};
+
+/// Generates the workload for a run. The generator stream is independent of
+/// the mobility streams (different seed derivation), so changing `N` does
+/// not change the queries.
+pub fn generate_workload(cfg: &SimConfig) -> Vec<QuerySpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_mul(0xA24B_AED4_963E_E407) ^ 0x9E6D);
+    let mut out = Vec::with_capacity(cfg.n_queries);
+    for i in 0..cfg.n_queries {
+        if i % 2 == 0 {
+            // Range query: square with side U[0.5, 1.5]·q_len, clipped to
+            // the space.
+            let side = cfg.q_len * (0.5 + rng.gen::<f64>());
+            let cx = cfg.space.min().x + rng.gen::<f64>() * cfg.space.width();
+            let cy = cfg.space.min().y + rng.gen::<f64>() * cfg.space.height();
+            let rect = Rect::centered(Point::new(cx, cy), side / 2.0, side / 2.0)
+                .intersection(&cfg.space)
+                .expect("center inside space");
+            out.push(QuerySpec::range(rect));
+        } else {
+            let k = 1 + (rng.gen::<f64>() * cfg.k_max as f64) as usize;
+            let k = k.min(cfg.k_max).max(1);
+            let cx = cfg.space.min().x + rng.gen::<f64>() * cfg.space.width();
+            let cy = cfg.space.min().y + rng.gen::<f64>() * cfg.space.height();
+            out.push(QuerySpec::knn(Point::new(cx, cy), k));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let cfg = SimConfig::test_defaults();
+        assert_eq!(generate_workload(&cfg), generate_workload(&cfg));
+    }
+
+    #[test]
+    fn workload_half_range_half_knn() {
+        let cfg = SimConfig { n_queries: 100, ..SimConfig::test_defaults() };
+        let w = generate_workload(&cfg);
+        let ranges = w.iter().filter(|q| matches!(q, QuerySpec::Range { .. })).count();
+        assert_eq!(ranges, 50);
+        for q in &w {
+            match q {
+                QuerySpec::Range { rect } => {
+                    assert!(cfg.space.contains_rect(rect));
+                    assert!(rect.width() <= 1.5 * cfg.q_len + 1e-12);
+                }
+                QuerySpec::Knn { k, order_sensitive, center } => {
+                    assert!(*k >= 1 && *k <= cfg.k_max);
+                    assert!(order_sensitive);
+                    assert!(cfg.space.contains_point(*center));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_independent_of_object_count() {
+        let a = SimConfig { n_objects: 10, ..SimConfig::test_defaults() };
+        let b = SimConfig { n_objects: 100_000, ..SimConfig::test_defaults() };
+        assert_eq!(generate_workload(&a), generate_workload(&b));
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests through the `srb` facade: the full stack
+//! (geometry → index → framework → mobility → simulator) wired together the
+//! way a downstream user would.
+
+use srb::core::{FnProvider, ObjectId, Quarantine, QuerySpec, Server, ServerConfig};
+use srb::geom::{Point, Rect};
+use srb::mobility::{MobilityConfig, Trajectory};
+use srb::sim::{run_scheme, Scheme, SimConfig};
+
+#[test]
+fn trajectory_driven_monitoring_stays_exact() {
+    // Drive the core server with real random-waypoint trajectories (no
+    // simulator): the facade-level version of the protocol oracle.
+    let n = 80;
+    let mob = MobilityConfig { mean_speed: 0.02, mean_period: 0.5, ..Default::default() };
+    let mut trajs: Vec<Trajectory> =
+        (0..n).map(|i| Trajectory::random_waypoint(404, i as u64, mob, 0.0)).collect();
+
+    let mut server = Server::new(ServerConfig::default());
+    let mut snapshot: Vec<Point> = trajs.iter_mut().map(|t| t.position(0.0)).collect();
+    {
+        let ps = snapshot.clone();
+        let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
+        for i in 0..n {
+            server.add_object(ObjectId(i as u32), snapshot[i], &mut provider, 0.0);
+        }
+        server.register_query(QuerySpec::range(Rect::centered(Point::new(0.5, 0.5), 0.1, 0.1)), &mut provider, 0.0);
+        server.register_query(QuerySpec::knn(Point::new(0.25, 0.75), 4), &mut provider, 0.0);
+        server.register_query(QuerySpec::knn_unordered(Point::new(0.8, 0.2), 3), &mut provider, 0.0);
+    }
+
+    let steps = 400;
+    for step in 1..=steps {
+        let t = step as f64 * 0.01;
+        for i in 0..n {
+            snapshot[i] = trajs[i].position(t);
+            let oid = ObjectId(i as u32);
+            let sr = server.safe_region(oid).unwrap();
+            if !sr.contains_point(snapshot[i]) {
+                let ps = snapshot.clone();
+                let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
+                server.handle_location_update(oid, snapshot[i], &mut provider, t);
+            }
+        }
+        if step % 50 == 0 {
+            // Brute-force verification of all three queries.
+            for qid in server.query_ids().collect::<Vec<_>>() {
+                let got = server.results(qid).unwrap().to_vec();
+                match server.quarantine(qid).unwrap() {
+                    Quarantine::Rect(rect) => {
+                        let want: Vec<ObjectId> = (0..n as u32)
+                            .map(ObjectId)
+                            .filter(|o| rect.contains_point(snapshot[o.index()]))
+                            .collect();
+                        let mut g = got.clone();
+                        g.sort_unstable();
+                        assert_eq!(g, want, "range mismatch at step {step}");
+                    }
+                    Quarantine::Circle(c) => {
+                        // Every result must be within the quarantine circle.
+                        for o in &got {
+                            assert!(
+                                c.contains(snapshot[o.index()]),
+                                "result {o} escaped quarantine at step {step}"
+                            );
+                        }
+                    }
+                }
+            }
+            server.check_invariants();
+        }
+    }
+    assert!(server.costs().source_updates > 0);
+}
+
+#[test]
+fn simulator_matches_core_guarantee() {
+    let cfg = SimConfig {
+        n_objects: 200,
+        n_queries: 10,
+        duration: 3.0,
+        min_reaction: 0.0,
+        ..SimConfig::paper_defaults()
+    };
+    let m = run_scheme(Scheme::Srb, &cfg);
+    assert_eq!(m.accuracy, 1.0, "facade SRB run must be exact: {m:?}");
+    let o = run_scheme(Scheme::Opt, &cfg);
+    assert!(o.comm_cost <= m.comm_cost);
+}
+
+#[test]
+fn geometry_reexports_are_usable() {
+    use srb::geom::{irlp_circle, Circle, OrdinaryPerimeter};
+    let c = Circle::new(Point::new(0.5, 0.5), 0.2);
+    let cell = Rect::centered(Point::new(0.5, 0.5), 0.3, 0.3);
+    let r = irlp_circle(&c, Point::new(0.5, 0.5), &cell, &OrdinaryPerimeter).unwrap();
+    assert!(c.contains_rect(&r));
+}
+
+#[test]
+fn index_reexports_are_usable() {
+    use srb::index::{RStarTree, TreeConfig};
+    let mut t = RStarTree::new(TreeConfig::default());
+    for i in 0..100u64 {
+        t.insert(i, Rect::point(Point::new((i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0)));
+    }
+    assert_eq!(t.nearest_iter(Point::new(0.0, 0.0)).next().unwrap().id, 0);
+}
