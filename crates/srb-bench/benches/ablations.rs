@@ -33,7 +33,12 @@ fn bench_batch_vs_individual(c: &mut Criterion) {
         b.iter(|| {
             let mut sr = cell;
             for blk in &blocks {
-                let r = irlp_rect_complement_batch(std::slice::from_ref(blk), p, &cell, &OrdinaryPerimeter);
+                let r = irlp_rect_complement_batch(
+                    std::slice::from_ref(blk),
+                    p,
+                    &cell,
+                    &OrdinaryPerimeter,
+                );
                 sr = sr.intersection(&r).unwrap_or(Rect::point(p));
             }
             sr
@@ -98,10 +103,7 @@ fn bench_build_strategies(c: &mut Criterion) {
     g.sample_size(20);
     let mut rng = StdRng::seed_from_u64(8);
     let entries: Vec<LeafEntry> = (0..20_000)
-        .map(|i| LeafEntry {
-            id: i as u64,
-            rect: Rect::point(Point::new(rng.gen(), rng.gen())),
-        })
+        .map(|i| LeafEntry { id: i as u64, rect: Rect::point(Point::new(rng.gen(), rng.gen())) })
         .collect();
 
     g.bench_function("str_bulk_load_20k", |b| {
@@ -127,5 +129,10 @@ fn bench_build_strategies(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_batch_vs_individual, bench_update_strategies, bench_build_strategies);
+criterion_group!(
+    benches,
+    bench_batch_vs_individual,
+    bench_update_strategies,
+    bench_build_strategies
+);
 criterion_main!(benches);

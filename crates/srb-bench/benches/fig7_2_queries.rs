@@ -13,11 +13,8 @@ use srb_sim::{Scheme, SimConfig};
 fn main() {
     let base = base_config();
     figure_header("Figure 7.2", "performance vs number of queries W", &base);
-    let ws: &[usize] = if full_scale() {
-        &[10, 50, 100, 500, 1000]
-    } else {
-        &[5, 15, 60, 120, 240]
-    };
+    let ws: &[usize] =
+        if full_scale() { &[10, 50, 100, 500, 1000] } else { &[5, 15, 60, 120, 240] };
 
     for &w in ws {
         let cfg = SimConfig { n_queries: w, ..base };

@@ -13,11 +13,8 @@ use srb_sim::{Scheme, SimConfig};
 fn main() {
     let base = base_config();
     figure_header("Figure 7.3", "performance vs number of objects N", &base);
-    let ns: &[usize] = if full_scale() {
-        &[100, 1_000, 10_000, 100_000]
-    } else {
-        &[100, 500, 2_000, 8_000]
-    };
+    let ns: &[usize] =
+        if full_scale() { &[100, 1_000, 10_000, 100_000] } else { &[100, 500, 2_000, 8_000] };
 
     for &n in ns {
         let cfg = SimConfig { n_objects: n, ..base };

@@ -90,10 +90,7 @@ fn bench_irlp(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(7);
         let blocks: Vec<Rect> = (0..8)
             .map(|_| {
-                let c = Point::new(
-                    0.4 + rng.gen::<f64>() * 0.02,
-                    0.4 + rng.gen::<f64>() * 0.02,
-                );
+                let c = Point::new(0.4 + rng.gen::<f64>() * 0.02, 0.4 + rng.gen::<f64>() * 0.02);
                 Rect::centered(c, 0.002, 0.002)
             })
             .filter(|r| !r.contains_point(p))
@@ -114,7 +111,7 @@ fn bench_server(c: &mut Criterion) {
             let ps = pts.clone();
             let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
             for (i, p) in pts.iter().enumerate() {
-                server.add_object(ObjectId(i as u32), *p, &mut provider, 0.0);
+                server.add_object(ObjectId(i as u32), *p, &mut provider, 0.0).expect("fresh id");
             }
         }
         let mut rng = StdRng::seed_from_u64(5);
@@ -134,7 +131,7 @@ fn bench_server(c: &mut Criterion) {
             let ps = world.clone();
             let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
             for (i, p) in world.iter().enumerate() {
-                server.add_object(ObjectId(i as u32), *p, &mut provider, 0.0);
+                server.add_object(ObjectId(i as u32), *p, &mut provider, 0.0).expect("fresh id");
             }
             for i in 0..50 {
                 let center = Point::new((i as f64 * 0.619) % 1.0, (i as f64 * 0.383) % 1.0);
@@ -153,7 +150,9 @@ fn bench_server(c: &mut Criterion) {
             );
             let ps = world.clone();
             let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
-            server.handle_location_update(ObjectId(i as u32), world[i], &mut provider, now)
+            server
+                .handle_location_update(ObjectId(i as u32), world[i], &mut provider, now)
+                .expect("registered object")
         })
     });
     g.finish();

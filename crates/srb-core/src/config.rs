@@ -23,6 +23,12 @@ pub struct ServerConfig {
     pub tree: TreeConfig,
     /// Wireless cost model (§7.1).
     pub cost: CostModel,
+    /// Safe-region lease duration. When set, every issued safe region
+    /// expires `lease` time units after the object's last contact; a
+    /// server-side timer (the deferred-probe queue) probes objects whose
+    /// lease lapsed, bounding the damage of a lost exit report. `None`
+    /// (the default) reproduces the paper's reliable-channel semantics.
+    pub lease: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +40,7 @@ impl Default for ServerConfig {
             steadiness: None,
             tree: TreeConfig::default(),
             cost: CostModel::default(),
+            lease: None,
         }
     }
 }
@@ -60,6 +67,7 @@ mod tests {
         assert_eq!(c.space, Rect::UNIT);
         assert!(c.max_speed.is_none());
         assert!(c.steadiness.is_none());
+        assert!(c.lease.is_none(), "paper semantics: leases never expire");
         assert_eq!(c.cost.c_l, 1.0);
         assert_eq!(c.cost.c_p, 1.5);
     }

@@ -1,0 +1,57 @@
+//! Typed server errors. A lossy channel can replay, reorder, or misdirect
+//! client messages, so every user-reachable server entry point returns
+//! `Result` instead of panicking — malformed input must never abort the
+//! server.
+
+use crate::ids::ObjectId;
+use std::fmt;
+
+/// Why the server rejected a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// A location update or probe referenced an object that was never
+    /// registered (or was removed).
+    UnknownObject(ObjectId),
+    /// `add_object` was called with an id that is already registered.
+    DuplicateObject(ObjectId),
+    /// A sequenced update carried a sequence number at or below the
+    /// object's last accepted one — a duplicate or reordered delivery.
+    StaleSequence {
+        /// The object the update was for.
+        id: ObjectId,
+        /// The sequence number carried by the rejected update.
+        seq: u64,
+        /// The highest sequence number accepted so far.
+        last: u64,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownObject(id) => write!(f, "unknown object {id}"),
+            ServerError::DuplicateObject(id) => write!(f, "duplicate object {id}"),
+            ServerError::StaleSequence { id, seq, last } => {
+                write!(f, "stale sequence {seq} for {id} (last accepted {last})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServerError::StaleSequence { id: ObjectId(7), seq: 3, last: 5 };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('3') && s.contains('5'), "{s}");
+        assert_eq!(
+            ServerError::UnknownObject(ObjectId(1)).to_string(),
+            format!("unknown object {}", ObjectId(1))
+        );
+    }
+}

@@ -155,8 +155,17 @@ impl EvalCtx<'_> {
         let (Some(v), Some(st)) = (self.max_speed, self.objects.get(id)) else {
             return;
         };
-        self.deferred.push((id, st.t_lst + dist.max(0.0) / v));
-        self.work.probes_avoided += 1;
+        let due = st.t_lst + dist.max(0.0) / v;
+        if due > self.now + 1e-9 {
+            self.deferred.push((id, due));
+            self.work.probes_avoided += 1;
+        } else {
+            // See `defer_dist_threshold`: a non-positive slack means the
+            // decision could already be stale, and an immediately-due
+            // deferred probe both livelocks at a frozen timestamp and costs
+            // an extra scheduling round-trip. Probe inline instead.
+            let _ = self.probe(id);
+        }
     }
 }
 
@@ -192,9 +201,7 @@ pub(crate) fn evaluate_range(ctx: &mut EvalCtx<'_>, rect: &Rect) -> Vec<ObjectId
                 if bound.definitely_inside(rect) {
                     results.push(oid);
                     if let Some((anchor, radius)) = reach_anchor(&bound) {
-                        let escape = sr
-                            .escape_dist(anchor, rect)
-                            .unwrap_or(f64::INFINITY);
+                        let escape = sr.escape_dist(anchor, rect).unwrap_or(f64::INFINITY);
                         if escape.is_finite() {
                             ctx.defer_travel(oid, escape);
                         } else {
@@ -310,7 +317,7 @@ impl<'a> Stream<'a> {
             // Pull from the browser until its lower bound can no longer beat
             // the heap top.
             while let Some(d) = self.browser.peek_dist() {
-                if self.heap.peek().map_or(true, |Reverse(t)| d < t.key) {
+                if self.heap.peek().is_none_or(|Reverse(t)| d < t.key) {
                     if let Some(n) = self.browser.next() {
                         let oid = ObjectId(n.id as u32);
                         if exclude.contains(&oid) {
@@ -422,15 +429,9 @@ fn sound_radius(
         // Refined upper bound of the results (valid now); raw keys of the
         // stream lower-bound the raw δ of every remaining non-result, which
         // is what the quarantine radius must not exceed.
-        let lo_ref = results
-            .iter()
-            .map(|r| r.bound.max_dist(q))
-            .fold(0.0f64, f64::max);
+        let lo_ref = results.iter().map(|r| r.bound.max_dist(q)).fold(0.0f64, f64::max);
         let Some(n) = next.take() else {
-            let lo_raw = results
-                .iter()
-                .map(|r| r.bound.raw_max_dist(q))
-                .fold(0.0f64, f64::max);
+            let lo_raw = results.iter().map(|r| r.bound.raw_max_dist(q)).fold(0.0f64, f64::max);
             return open_radius(q, space, lo_raw);
         };
         if lo_ref <= n.key + 1e-12 {
@@ -512,9 +513,7 @@ pub(crate) fn evaluate_knn_unordered(
             .iter()
             .enumerate()
             .filter(|(_, h)| !h.bound.is_exact())
-            .max_by(|a, b| {
-                a.1.bound.max_dist(q).total_cmp(&b.1.bound.max_dist(q))
-            })
+            .max_by(|a, b| a.1.bound.max_dist(q).total_cmp(&b.1.bound.max_dist(q)))
             .map(|(i, _)| i);
         match worst {
             Some(i) if held[i].bound.max_dist(q) > u.key => {

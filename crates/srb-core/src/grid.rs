@@ -28,11 +28,7 @@ impl GridIndex {
     /// Creates an empty grid over `space` with `m x m` cells.
     pub fn new(space: Rect, m: usize) -> Self {
         assert!(m >= 1, "grid must have at least one cell");
-        GridIndex {
-            space,
-            m,
-            buckets: vec![Vec::new(); m * m],
-        }
+        GridIndex { space, m, buckets: vec![Vec::new(); m * m] }
     }
 
     /// The grid resolution `M`.
@@ -58,10 +54,7 @@ impl GridIndex {
     pub fn cell_rect(&self, (i, j): Cell) -> Rect {
         let w = self.space.width() / self.m as f64;
         let h = self.space.height() / self.m as f64;
-        let min = Point::new(
-            self.space.min().x + i as f64 * w,
-            self.space.min().y + j as f64 * h,
-        );
+        let min = Point::new(self.space.min().x + i as f64 * w, self.space.min().y + j as f64 * h);
         Rect::new(min, Point::new(min.x + w, min.y + h))
     }
 

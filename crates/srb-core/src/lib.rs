@@ -24,7 +24,7 @@
 //!
 //! let mut server = Server::with_defaults();
 //! for (i, &p) in positions.iter().enumerate() {
-//!     server.add_object(ObjectId(i as u32), p, &mut provider, 0.0);
+//!     server.add_object(ObjectId(i as u32), p, &mut provider, 0.0).expect("fresh id");
 //! }
 //! let resp = server.register_query(
 //!     QuerySpec::knn(Point::new(0.0, 0.0), 1),
@@ -46,6 +46,7 @@
 
 mod bounds;
 mod config;
+mod error;
 mod eval;
 mod grid;
 mod ids;
@@ -58,9 +59,10 @@ mod server;
 
 pub use bounds::LocBound;
 pub use config::ServerConfig;
+pub use error::ServerError;
 pub use grid::{Cell, GridIndex};
 pub use ids::{ObjectId, QueryId};
 pub use object::{ObjectState, ObjectTable};
 pub use provider::{CostModel, CostTracker, FnProvider, LocationProvider, NoProbe, WorkStats};
 pub use query::{Quarantine, QuerySpec, QueryState, ResultChange};
-pub use server::{RegisterResponse, ResultRemoval, Server, UpdateResponse};
+pub use server::{RegisterResponse, ResultRemoval, SequencedUpdate, Server, UpdateResponse};

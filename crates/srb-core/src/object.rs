@@ -14,6 +14,10 @@ pub struct ObjectState {
     pub t_lst: f64,
     /// Current safe region (also stored in the object R\*-tree).
     pub safe_region: Rect,
+    /// Highest client sequence number accepted so far. Sequenced updates at
+    /// or below this are duplicates/reorderings from an unreliable channel
+    /// and are rejected idempotently.
+    pub last_seq: u64,
 }
 
 /// Dense table of object states, indexed by [`ObjectId`].
@@ -89,6 +93,7 @@ mod tests {
             p_lst: Point::new(x, x),
             t_lst: 0.0,
             safe_region: Rect::point(Point::new(x, x)),
+            last_seq: 0,
         }
     }
 

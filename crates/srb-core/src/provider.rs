@@ -100,6 +100,17 @@ pub struct WorkStats {
     /// Probes issued to resolve conflicting neighbor safe regions during
     /// safe-region computation.
     pub probes_neighbor: u64,
+    /// Sequenced updates dropped because their sequence number was at or
+    /// below the last accepted one (duplicate / reordered deliveries).
+    pub stale_seq_drops: u64,
+    /// Updates dropped because they referenced an unregistered object.
+    pub unknown_object_drops: u64,
+    /// Probes fired because an object's safe-region lease lapsed without
+    /// contact (subset of `CostTracker::probes`).
+    pub lease_probes: u64,
+    /// Current safe regions re-sent in response to duplicate updates — the
+    /// ACK-retransmission path of a lossy downlink.
+    pub regrants: u64,
 }
 
 #[cfg(test)]

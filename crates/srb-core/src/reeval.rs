@@ -163,6 +163,7 @@ fn reevaluate_knn_unordered(
     Reeval { results_changed, quarantine_changed }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reevaluate_knn_ordered(
     ctx: &mut EvalCtx<'_>,
     qs: &mut QueryState,
@@ -278,11 +279,8 @@ fn reevaluate_knn_ordered(
             .filter_map(|&o| ctx.bound_of(o))
             .map(|b| b.raw_max_dist(center))
             .fold(d.min(old_radius), f64::max);
-        let outer = ctx
-            .bound_of(dropped)
-            .map(|b| b.raw_min_dist(center))
-            .unwrap_or(inner)
-            .max(inner);
+        let outer =
+            ctx.bound_of(dropped).map(|b| b.raw_min_dist(center)).unwrap_or(inner).max(inner);
         qs.quarantine = Quarantine::Circle(Circle::new(center, (inner + outer) * 0.5));
         quarantine_changed = true;
     }

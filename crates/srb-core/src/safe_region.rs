@@ -12,9 +12,8 @@ use crate::grid::GridIndex;
 use crate::ids::ObjectId;
 use crate::query::{Quarantine, QuerySpec, QueryState};
 use srb_geom::{
-    irlp_circle, irlp_circle_complement, irlp_rect_complement_batch, irlp_ring,
-    ClearanceObjective, OrdinaryPerimeter, PerimeterObjective, Point, Rect, Ring,
-    WeightedPerimeter,
+    irlp_circle, irlp_circle_complement, irlp_rect_complement_batch, irlp_ring, ClearanceObjective,
+    OrdinaryPerimeter, PerimeterObjective, Point, Rect, Ring, WeightedPerimeter,
 };
 
 /// Fraction of the grid-cell size up to which an object's clearance from
@@ -41,11 +40,9 @@ pub(crate) fn compute_safe_region(
     let cell = grid.cell_rect_of(pos);
     let scale = CLEARANCE_FRACTION * cell.width().min(cell.height());
     let objective: Box<dyn PerimeterObjective> = match steadiness {
-        Some(d) if p_lst != pos => Box::new(ClearanceObjective::new(
-            WeightedPerimeter::new(pos, p_lst, d),
-            pos,
-            scale,
-        )),
+        Some(d) if p_lst != pos => {
+            Box::new(ClearanceObjective::new(WeightedPerimeter::new(pos, p_lst, d), pos, scale))
+        }
         _ => Box::new(ClearanceObjective::new(OrdinaryPerimeter, pos, scale)),
     };
     let mut sr = cell;

@@ -8,6 +8,7 @@
 //! [`LocationProvider`] the caller supplies.
 
 use crate::config::ServerConfig;
+use crate::error::ServerError;
 use crate::eval::{evaluate_knn_ordered, evaluate_knn_unordered, evaluate_range, EvalCtx};
 use crate::grid::GridIndex;
 use crate::ids::{ObjectId, QueryId};
@@ -47,14 +48,42 @@ pub struct UpdateResponse {
     pub changes: Vec<ResultChange>,
 }
 
+/// A source-initiated location update stamped with the client's sequence
+/// number. Over a lossy channel the same report can arrive duplicated or
+/// reordered; the server accepts each sequence number at most once
+/// ([`Server::handle_sequenced_updates`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SequencedUpdate {
+    /// The reporting object.
+    pub id: ObjectId,
+    /// The reported position.
+    pub pos: Point,
+    /// Client-assigned, strictly increasing per object. Retransmissions of
+    /// the same report reuse the same number.
+    pub seq: u64,
+}
+
+/// Why a deferred timer entry exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeferKind {
+    /// Reachability-circle slack expiry (§6.1 soundness restoration).
+    Slack,
+    /// Safe-region lease expiry: the object has not been heard from for a
+    /// full lease period — probe it in case its exit report was lost.
+    Lease,
+}
+
 /// A scheduled deferred probe (see DESIGN.md): `epoch` is the object's
 /// last-report timestamp at scheduling time — the entry is stale (and
 /// silently dropped) if the object has reported or been probed since.
+/// Lease renewals ride the same staleness rule: any contact bumps `t_lst`,
+/// invalidating the old lease entry.
 #[derive(Debug, Clone, Copy)]
 struct Deferred {
     due: f64,
     oid: ObjectId,
     epoch: f64,
+    kind: DeferKind,
 }
 
 impl PartialEq for Deferred {
@@ -127,18 +156,12 @@ impl Server {
 
     /// The current result set of a query.
     pub fn results(&self, id: QueryId) -> Option<&[ObjectId]> {
-        self.queries
-            .get(id.index())
-            .and_then(|q| q.as_ref())
-            .map(|q| q.results.as_slice())
+        self.queries.get(id.index()).and_then(|q| q.as_ref()).map(|q| q.results.as_slice())
     }
 
     /// The current quarantine area of a query.
     pub fn quarantine(&self, id: QueryId) -> Option<Quarantine> {
-        self.queries
-            .get(id.index())
-            .and_then(|q| q.as_ref())
-            .map(|q| q.quarantine)
+        self.queries.get(id.index()).and_then(|q| q.as_ref()).map(|q| q.quarantine)
     }
 
     /// The safe region the server believes `id` is inside.
@@ -174,10 +197,7 @@ impl Server {
 
     /// Iterates over the registered query ids.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.queries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+        self.queries.iter().enumerate().filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
     }
 
     /// Verifies internal consistency (tree invariants, state coherence).
@@ -202,19 +222,23 @@ impl Server {
 
     /// Registers a new moving object at `pos`. The object is folded into any
     /// query whose quarantine area covers it, and receives its initial safe
-    /// region (returned; the client must be told).
+    /// region (returned; the client must be told). Fails with
+    /// [`ServerError::DuplicateObject`] if the id is already registered — a
+    /// replayed registration must not corrupt existing state.
     pub fn add_object(
         &mut self,
         id: ObjectId,
         pos: Point,
         provider: &mut dyn LocationProvider,
         now: f64,
-    ) -> Rect {
-        assert!(self.objects.get(id).is_none(), "duplicate object {id}");
+    ) -> Result<Rect, ServerError> {
+        if self.objects.get(id).is_some() {
+            return Err(ServerError::DuplicateObject(id));
+        }
         self.tree.insert(id.entry(), Rect::point(pos));
         self.objects.set(
             id,
-            ObjectState { p_lst: pos, t_lst: now, safe_region: Rect::point(pos) },
+            ObjectState { p_lst: pos, t_lst: now, safe_region: Rect::point(pos), last_seq: 0 },
         );
         // Fold into affected queries: any query whose quarantine contains
         // pos may gain the new object.
@@ -261,7 +285,7 @@ impl Server {
         }
         self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
         self.absorb_deferred(&mut deferred, &exact);
-        self.objects.get(id).expect("just added").safe_region
+        Ok(self.objects.get(id).expect("just added").safe_region)
     }
 
     /// Removes a moving object entirely (extension beyond the paper: object
@@ -334,10 +358,7 @@ impl Server {
                     } else {
                         evaluate_knn_unordered(&mut ctx, center, k, &space, &[])
                     };
-                    (
-                        eval.results,
-                        Quarantine::Circle(Circle::new(center, eval.radius)),
-                    )
+                    (eval.results, Quarantine::Circle(Circle::new(center, eval.radius)))
                 }
             }
         };
@@ -350,8 +371,7 @@ impl Server {
         // 1); their safe regions are recomputed against all constraints
         // (the fresh computation subsumes the paper's intersection with
         // sr_Q and can only yield a larger — still sound — region).
-        let safe_regions =
-            self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
+        let safe_regions = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
         let exact_all: HashMap<ObjectId, Point> =
             safe_regions.iter().map(|&(o, _)| (o, Point::ORIGIN)).collect();
         self.absorb_deferred(&mut deferred, &exact_all);
@@ -376,16 +396,23 @@ impl Server {
     /// Handles a source-initiated location update: finds affected queries
     /// via the grid, incrementally reevaluates them (probing lazily),
     /// reports result changes, and recomputes the safe regions of the
-    /// updating object and every probed object.
+    /// updating object and every probed object. Fails with
+    /// [`ServerError::UnknownObject`] instead of aborting when the update
+    /// references an unregistered object (e.g. a misdirected or replayed
+    /// message). The update is implicitly stamped with the next sequence
+    /// number; use [`handle_sequenced_updates`](Self::handle_sequenced_updates)
+    /// for explicit client-side numbering.
     pub fn handle_location_update(
         &mut self,
         id: ObjectId,
         pos: Point,
         provider: &mut dyn LocationProvider,
         now: f64,
-    ) -> UpdateResponse {
+    ) -> Result<UpdateResponse, ServerError> {
+        let st = self.objects.get_mut(id).ok_or(ServerError::UnknownObject(id))?;
+        st.last_seq += 1;
         self.costs.source_updates += 1;
-        self.process_report(id, pos, provider, now)
+        Ok(self.process_report(id, pos, provider, now))
     }
 
     /// Handles a *batch* of simultaneous source-initiated updates
@@ -397,6 +424,76 @@ impl Server {
     /// shares evaluation work across movers (in the spirit of SINA's shared
     /// execution).
     pub fn handle_location_updates(
+        &mut self,
+        updates: &[(ObjectId, Point)],
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        // Stamp each update with the object's next sequence number; the
+        // sequenced path drops unknown objects (and in-batch duplicates)
+        // instead of panicking.
+        let sequenced: Vec<SequencedUpdate> = updates
+            .iter()
+            .filter_map(|&(id, pos)| {
+                self.objects.get(id).map(|st| SequencedUpdate { id, pos, seq: st.last_seq + 1 })
+            })
+            .collect();
+        self.work.unknown_object_drops += (updates.len() - sequenced.len()) as u64;
+        self.handle_sequenced_updates(&sequenced, provider, now)
+    }
+
+    /// Handles a batch of *sequenced* updates from an unreliable channel.
+    /// Updates whose sequence number is at or below the object's last
+    /// accepted one are duplicates or reorderings: they are dropped
+    /// idempotently (counted in [`WorkStats::stale_seq_drops`]) and answered
+    /// with a re-grant of the object's current safe region, so a client
+    /// whose previous grant was lost on the downlink still converges.
+    /// Updates for unknown objects are dropped and counted. Accepted
+    /// updates are processed exactly like
+    /// [`handle_location_updates`](Self::handle_location_updates).
+    pub fn handle_sequenced_updates(
+        &mut self,
+        updates: &[SequencedUpdate],
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        let mut accepted: Vec<(ObjectId, Point)> = Vec::new();
+        let mut regrant_ids: Vec<ObjectId> = Vec::new();
+        for u in updates {
+            match self.objects.get_mut(u.id) {
+                None => self.work.unknown_object_drops += 1,
+                Some(st) if u.seq <= st.last_seq => {
+                    self.work.stale_seq_drops += 1;
+                    self.work.regrants += 1;
+                    regrant_ids.push(u.id);
+                }
+                Some(st) => {
+                    st.last_seq = u.seq;
+                    accepted.push((u.id, u.pos));
+                }
+            }
+        }
+        let mut responses = self.apply_update_batch(&accepted, provider, now);
+        // Re-grants are materialized *after* the batch is applied so they
+        // carry the post-update safe region, never a stale one.
+        for id in regrant_ids {
+            if let Some(st) = self.objects.get(id) {
+                responses.push((
+                    id,
+                    UpdateResponse {
+                        safe_region: st.safe_region,
+                        probed: Vec::new(),
+                        changes: Vec::new(),
+                    },
+                ));
+            }
+        }
+        responses
+    }
+
+    /// Shared batch body: every position installed first, then each affected
+    /// query reevaluated once. Callers guarantee all ids are registered.
+    fn apply_update_batch(
         &mut self,
         updates: &[(ObjectId, Point)],
         provider: &mut dyn LocationProvider,
@@ -414,7 +511,7 @@ impl Server {
         let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
         let mut prev: HashMap<ObjectId, Point> = HashMap::new();
         for &(id, pos) in updates {
-            let st = *self.objects.get(id).expect("unknown object");
+            let st = *self.objects.get(id).expect("batch ids are pre-checked");
             prev.insert(id, st.p_lst);
             self.tree.update(id.entry(), Rect::point(pos));
             exact.insert(id, pos);
@@ -589,13 +686,22 @@ impl Server {
     /// Moves evaluation-time deferral requests into the timer queue.
     /// Requests for objects that ended up exactly known in this operation
     /// are dropped — their safe regions were just recomputed.
-    fn absorb_deferred(&mut self, scratch: &mut Vec<(ObjectId, f64)>, exact: &HashMap<ObjectId, Point>) {
+    fn absorb_deferred(
+        &mut self,
+        scratch: &mut Vec<(ObjectId, f64)>,
+        exact: &HashMap<ObjectId, Point>,
+    ) {
         for (oid, due) in scratch.drain(..) {
             if exact.contains_key(&oid) {
                 continue;
             }
             let Some(st) = self.objects.get(oid) else { continue };
-            self.deferred.push(Reverse(Deferred { due, oid, epoch: st.t_lst }));
+            self.deferred.push(Reverse(Deferred {
+                due,
+                oid,
+                epoch: st.t_lst,
+                kind: DeferKind::Slack,
+            }));
         }
     }
 
@@ -604,11 +710,7 @@ impl Server {
     /// schedule [`process_deferred`](Self::process_deferred).
     pub fn next_deferred_due(&mut self) -> Option<f64> {
         while let Some(Reverse(d)) = self.deferred.peek() {
-            let fresh = self
-                .objects
-                .get(d.oid)
-                .map(|st| st.t_lst == d.epoch)
-                .unwrap_or(false);
+            let fresh = self.objects.get(d.oid).map(|st| st.t_lst == d.epoch).unwrap_or(false);
             if fresh {
                 return Some(d.due);
             }
@@ -627,19 +729,20 @@ impl Server {
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
         let mut out = Vec::new();
-        loop {
-            let Some(due) = self.next_deferred_due() else { break };
+        while let Some(due) = self.next_deferred_due() {
             if due > now + 1e-12 {
                 break;
             }
             let Some(Reverse(d)) = self.deferred.pop() else { break };
             let pos = provider.probe(d.oid);
             self.costs.probes += 1;
+            if d.kind == DeferKind::Lease {
+                self.work.lease_probes += 1;
+            }
             out.push((d.oid, self.process_report(d.oid, pos, provider, now)));
         }
         out
     }
-
 
     /// Recomputes and installs safe regions for every exactly-known object
     /// of this server operation (Algorithm 1, lines 14-15). Returns the new
@@ -658,15 +761,9 @@ impl Server {
         // the loop picks it up until fixpoint. Objects already recomputed
         // leave the invalid set, so later ring bounds use their fresh safe
         // regions.
-        loop {
-            let Some(oid) = exact
-                .keys()
-                .copied()
-                .filter(|o| !out.iter().any(|(done, _)| done == o))
-                .min()
-            else {
-                break;
-            };
+        while let Some(oid) =
+            exact.keys().copied().filter(|o| !out.iter().any(|(done, _)| done == o)).min()
+        {
             let pos = exact.remove(&oid).expect("picked from map");
             let p_lst = self.objects.get(oid).map(|s| s.p_lst).unwrap_or(pos);
             let steadiness = self.config.steadiness;
@@ -674,21 +771,28 @@ impl Server {
             let queries = std::mem::take(&mut self.queries);
             let sr = {
                 let mut ctx = self.ctx(exact, deferred, provider, now);
-                compute_safe_region(
-                    &mut ctx,
-                    &grid,
-                    &queries,
-                    oid,
-                    pos,
-                    p_lst,
-                    steadiness,
-                )
+                compute_safe_region(&mut ctx, &grid, &queries, oid, pos, p_lst, steadiness)
             };
             self.grid = grid;
             self.queries = queries;
             self.work.safe_regions += 1;
             self.tree.update(oid.entry(), sr);
-            self.objects.set(oid, ObjectState { p_lst: pos, t_lst: now, safe_region: sr });
+            let last_seq = self.objects.get(oid).map(|s| s.last_seq).unwrap_or(0);
+            self.objects
+                .set(oid, ObjectState { p_lst: pos, t_lst: now, safe_region: sr, last_seq });
+            if let Some(lease) = self.config.lease {
+                if lease > 0.0 {
+                    // Renewal-on-contact is implicit: this entry's epoch is
+                    // the fresh `t_lst`, so any later contact (which bumps
+                    // `t_lst`) invalidates it via the staleness rule.
+                    self.deferred.push(Reverse(Deferred {
+                        due: now + lease,
+                        oid,
+                        epoch: now,
+                        kind: DeferKind::Lease,
+                    }));
+                }
+            }
             out.push((oid, sr));
         }
         out

@@ -14,8 +14,11 @@ enum Q {
 
 fn arb_query() -> impl Strategy<Value = Q> {
     prop_oneof![
-        (0.0f64..1.0, 0.0f64..1.0, 0.005f64..0.2)
-            .prop_map(|(cx, cy, half)| Q::Range { cx, cy, half }),
+        (0.0f64..1.0, 0.0f64..1.0, 0.005f64..0.2).prop_map(|(cx, cy, half)| Q::Range {
+            cx,
+            cy,
+            half
+        }),
         (0.0f64..1.0, 0.0f64..1.0, 1usize..6, any::<bool>())
             .prop_map(|(cx, cy, k, ordered)| Q::Knn { cx, cy, k, ordered }),
     ]
@@ -43,7 +46,7 @@ proptest! {
             let ps = positions.clone();
             let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
             for (i, &p) in positions.iter().enumerate() {
-                server.add_object(ObjectId(i as u32), p, &mut provider, 0.0);
+                server.add_object(ObjectId(i as u32), p, &mut provider, 0.0).expect("fresh id");
             }
         }
         let mut qids = Vec::new();
@@ -82,7 +85,9 @@ proptest! {
             if !sr.contains_point(positions[i]) {
                 let ps = positions.clone();
                 let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
-                server.handle_location_update(oid, positions[i], &mut provider, now);
+                server
+                    .handle_location_update(oid, positions[i], &mut provider, now)
+                    .expect("registered object");
             }
             // Verify every query against brute force.
             for &(qid, spec) in &qids {

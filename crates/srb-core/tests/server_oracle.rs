@@ -9,9 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use srb_core::{
-    FnProvider, ObjectId, Quarantine, QueryId, QuerySpec, Server, ServerConfig,
-};
+use srb_core::{FnProvider, ObjectId, Quarantine, QueryId, QuerySpec, Server, ServerConfig};
 use srb_geom::{Point, Rect};
 
 struct World {
@@ -19,10 +17,6 @@ struct World {
 }
 
 impl World {
-    fn provider(&self) -> FnProvider<impl FnMut(ObjectId) -> Point + '_> {
-        FnProvider(move |id: ObjectId| self.positions[id.index()])
-    }
-
     fn brute_range(&self, rect: &Rect) -> Vec<ObjectId> {
         let mut v: Vec<ObjectId> = (0..self.positions.len() as u32)
             .map(ObjectId)
@@ -49,24 +43,20 @@ struct Workload {
     knns: Vec<(QueryId, Point, usize, bool)>, // (id, center, k, order_sensitive)
 }
 
-fn setup(
-    seed: u64,
-    n: usize,
-    config: ServerConfig,
-) -> (World, Server, Workload, StdRng) {
+fn setup(seed: u64, n: usize, config: ServerConfig) -> (World, Server, Workload, StdRng) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut world = World { positions: Vec::new() };
     for _ in 0..n {
-        world
-            .positions
-            .push(Point::new(rng.gen::<f64>(), rng.gen::<f64>()));
+        world.positions.push(Point::new(rng.gen::<f64>(), rng.gen::<f64>()));
     }
     let mut server = Server::new(config);
     {
         let positions = world.positions.clone();
         let mut provider = FnProvider(move |id: ObjectId| positions[id.index()]);
         for i in 0..n {
-            server.add_object(ObjectId(i as u32), world.positions[i], &mut provider, 0.0);
+            server
+                .add_object(ObjectId(i as u32), world.positions[i], &mut provider, 0.0)
+                .expect("fresh id");
         }
     }
     let mut ranges = Vec::new();
@@ -156,17 +146,16 @@ fn run_protocol(seed: u64, config: ServerConfig, steps: usize, max_step: f64) {
             let dx = (rng.gen::<f64>() - 0.5) * 2.0 * max_step / 2f64.sqrt();
             let dy = (rng.gen::<f64>() - 0.5) * 2.0 * max_step / 2f64.sqrt();
             let p = world.positions[i];
-            world.positions[i] = Point::new(
-                (p.x + dx).clamp(0.0, 1.0),
-                (p.y + dy).clamp(0.0, 1.0),
-            );
+            world.positions[i] = Point::new((p.x + dx).clamp(0.0, 1.0), (p.y + dy).clamp(0.0, 1.0));
             let oid = ObjectId(i as u32);
             let sr = server.safe_region(oid).unwrap();
             let pos = world.positions[i];
             if !sr.contains_point(pos) {
                 let positions = world.positions.clone();
                 let mut provider = FnProvider(move |id: ObjectId| positions[id.index()]);
-                let resp = server.handle_location_update(oid, pos, &mut provider, now);
+                let resp = server
+                    .handle_location_update(oid, pos, &mut provider, now)
+                    .expect("registered object");
                 assert!(
                     resp.safe_region.contains_point(pos),
                     "new safe region excludes the reporter at step {step}"
@@ -248,9 +237,8 @@ fn probes_are_lazy_far_objects_never_probed() {
     // the lazy-probe discipline of §4.2 guarantees the tail is untouched.
     use std::cell::RefCell;
     let mut server = Server::with_defaults();
-    let positions: Vec<Point> = (0..18)
-        .map(|i| Point::new(0.05 + 0.05 * (i as f64), 0.51))
-        .collect();
+    let positions: Vec<Point> =
+        (0..18).map(|i| Point::new(0.05 + 0.05 * (i as f64), 0.51)).collect();
     let probed: RefCell<Vec<u32>> = RefCell::new(Vec::new());
     {
         let ps = positions.clone();
@@ -260,14 +248,13 @@ fn probes_are_lazy_far_objects_never_probed() {
             ps[id.index()]
         });
         for i in 0..18u32 {
-            server.add_object(ObjectId(i), positions[i as usize], &mut provider, 0.0);
+            server
+                .add_object(ObjectId(i), positions[i as usize], &mut provider, 0.0)
+                .expect("fresh id");
         }
         probed.borrow_mut().clear();
-        let resp = server.register_query(
-            QuerySpec::knn(Point::new(0.0, 0.51), 2),
-            &mut provider,
-            0.0,
-        );
+        let resp =
+            server.register_query(QuerySpec::knn(Point::new(0.0, 0.51), 2), &mut provider, 0.0);
         assert_eq!(resp.results, vec![ObjectId(0), ObjectId(1)]);
     }
     let probed = probed.into_inner();
@@ -290,7 +277,7 @@ fn object_churn() {
         {
             let ps = world.positions.clone();
             let mut provider = FnProvider(move |i: ObjectId| ps[i.index()]);
-            server.add_object(id, p, &mut provider, now);
+            server.add_object(id, p, &mut provider, now).expect("fresh id");
         }
         check_all(&world, &server, &wl, step);
     }

@@ -1,6 +1,6 @@
 //! Ir-lp of a circle (paper §5.2.1, Proposition 5.2).
 
-use super::{clip_containing, pad_range, EPS, QuadFrame};
+use super::{clip_containing, pad_range, QuadFrame, EPS};
 use crate::circle::Circle;
 use crate::objective::{optimize_theta, PerimeterObjective};
 use crate::point::Point;

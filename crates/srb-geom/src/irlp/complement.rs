@@ -13,7 +13,7 @@
 //! π/4 for fidelity — it can never win, but costs nothing) and the two slab
 //! candidates, returning the best.
 
-use super::{clip_containing, pad_range, EPS, QuadFrame};
+use super::{clip_containing, pad_range, QuadFrame, EPS};
 use crate::circle::Circle;
 use crate::objective::{better_of, optimize_theta, PerimeterObjective};
 use crate::point::Point;
@@ -28,7 +28,12 @@ use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
 ///
 /// Returns `None` when `p` is strictly inside the circle (infeasible) or
 /// outside `cell`.
-pub fn irlp_circle_complement<O>(circle: &Circle, p: Point, cell: &Rect, objective: &O) -> Option<Rect>
+pub fn irlp_circle_complement<O>(
+    circle: &Circle,
+    p: Point,
+    cell: &Rect,
+    objective: &O,
+) -> Option<Rect>
 where
     O: PerimeterObjective + ?Sized,
 {
@@ -143,10 +148,8 @@ mod tests {
     #[test]
     fn p_inside_circle_is_infeasible() {
         let c = Circle::new(Point::new(0.5, 0.5), 0.3);
-        assert!(
-            irlp_circle_complement(&c, Point::new(0.5, 0.6), &unit_cell(), &OrdinaryPerimeter)
-                .is_none()
-        );
+        assert!(irlp_circle_complement(&c, Point::new(0.5, 0.6), &unit_cell(), &OrdinaryPerimeter)
+            .is_none());
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl QuadFrame {
 
     /// Local coordinates of a world point.
     #[inline]
-    pub fn to_local(&self, p: Point) -> Point {
+    pub fn to_local(self, p: Point) -> Point {
         Point::new(self.sx * (p.x - self.origin.x), self.sy * (p.y - self.origin.y))
     }
 
@@ -126,12 +126,9 @@ mod frame_tests {
     #[test]
     fn frame_maps_p_to_first_quadrant() {
         let q = Point::new(0.5, 0.5);
-        for p in [
-            Point::new(0.7, 0.9),
-            Point::new(0.2, 0.9),
-            Point::new(0.2, 0.1),
-            Point::new(0.7, 0.1),
-        ] {
+        for p in
+            [Point::new(0.7, 0.9), Point::new(0.2, 0.9), Point::new(0.2, 0.1), Point::new(0.7, 0.1)]
+        {
             let f = QuadFrame::toward(q, p);
             let l = f.to_local(p);
             assert!(l.x >= 0.0 && l.y >= 0.0, "{p:?} -> {l:?}");

@@ -9,7 +9,7 @@
 //! inputs this implementation adds a *corner-contact* layout (III) whose
 //! inner corner slides on the inner circle (see DESIGN.md §5).
 
-use super::{clip_containing, pad_range, EPS, QuadFrame};
+use super::{clip_containing, pad_range, QuadFrame, EPS};
 use crate::circle::Ring;
 use crate::objective::{better_of, optimize_theta, PerimeterObjective};
 use crate::point::Point;

@@ -46,12 +46,8 @@ where
     // with the longest plain perimeter 2(t.u + t.v).
     let start = (0..4)
         .max_by(|&i, &j| {
-            let best = |q: usize| {
-                quad_ts[q]
-                    .iter()
-                    .map(|t| t.x + t.y)
-                    .fold(f64::NEG_INFINITY, f64::max)
-            };
+            let best =
+                |q: usize| quad_ts[q].iter().map(|t| t.x + t.y).fold(f64::NEG_INFINITY, f64::max);
             best(i).partial_cmp(&best(j)).unwrap()
         })
         .unwrap_or(0);
@@ -75,7 +71,7 @@ where
             } else {
                 objective.score(&trimmed)
             };
-            if best.as_ref().map_or(true, |(s, _)| score > *s) {
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
                 best = Some((score, trimmed));
             }
         }

@@ -69,11 +69,7 @@ pub struct WeightedPerimeter {
 impl WeightedPerimeter {
     /// Creates the objective; steadiness is clamped to `[0, 1]`.
     pub fn new(p: Point, p_lst: Point, steadiness: f64) -> Self {
-        WeightedPerimeter {
-            p,
-            p_lst,
-            steadiness: steadiness.clamp(0.0, 1.0),
-        }
+        WeightedPerimeter { p, p_lst, steadiness: steadiness.clamp(0.0, 1.0) }
     }
 }
 
@@ -154,12 +150,20 @@ pub const THETA_SEARCH_STEPS: usize = 24;
 ///
 /// Returns `None` when the interval is empty (`lo > hi`) or `rect_of` yields
 /// no rectangle anywhere in it.
-pub fn optimize_theta<O, F>(lo: f64, hi: f64, preferred: f64, objective: &O, rect_of: F) -> Option<Rect>
+pub fn optimize_theta<O, F>(
+    lo: f64,
+    hi: f64,
+    preferred: f64,
+    objective: &O,
+    rect_of: F,
+) -> Option<Rect>
 where
     O: PerimeterObjective + ?Sized,
     F: Fn(f64) -> Option<Rect>,
 {
-    if !(lo <= hi) {
+    // NaN-propagating emptiness check: an invalid (NaN) bound must also
+    // yield no rectangle, which `lo > hi` alone would miss.
+    if lo.partial_cmp(&hi).is_none_or(|o| o == std::cmp::Ordering::Greater) {
         return None;
     }
     let mut candidates: Vec<f64> = vec![lo, hi, preferred.clamp(lo, hi)];
@@ -183,7 +187,7 @@ where
     for theta in candidates {
         if let Some(rect) = rect_of(theta) {
             let s = objective.score(&rect);
-            if best.as_ref().map_or(true, |(bs, _)| s > *bs) {
+            if best.as_ref().is_none_or(|(bs, _)| s > *bs) {
                 best = Some((s, rect));
             }
         }
@@ -272,12 +276,8 @@ mod tests {
     #[test]
     fn optimize_theta_finds_closed_form_max() {
         // Maximize sinθ + cosθ on [0, π/2] — peak at π/4.
-        let rect_of = |t: f64| {
-            Some(Rect::new(
-                Point::new(0.0, 0.0),
-                Point::new(t.sin() + t.cos(), 1e-9),
-            ))
-        };
+        let rect_of =
+            |t: f64| Some(Rect::new(Point::new(0.0, 0.0), Point::new(t.sin() + t.cos(), 1e-9)));
         let best = optimize_theta(0.0, PI / 2.0, PI / 4.0, &OrdinaryPerimeter, rect_of).unwrap();
         assert!((best.width() - 2f64.sqrt()).abs() < 1e-9);
     }
@@ -307,10 +307,7 @@ mod tests {
     fn better_of_picks_higher_score() {
         let small = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
         let big = Rect::new(Point::new(0.0, 0.0), Point::new(3.0, 3.0));
-        assert_eq!(
-            better_of(Some(small), Some(big), &OrdinaryPerimeter),
-            Some(big)
-        );
+        assert_eq!(better_of(Some(small), Some(big), &OrdinaryPerimeter), Some(big));
         assert_eq!(better_of(None, Some(small), &OrdinaryPerimeter), Some(small));
         assert_eq!(better_of::<OrdinaryPerimeter>(None, None, &OrdinaryPerimeter), None);
     }

@@ -19,10 +19,7 @@ pub struct Rect {
 
 impl Rect {
     /// The unit square `[0,1] x [0,1]` — the space of the paper's evaluation.
-    pub const UNIT: Rect = Rect {
-        min: Point { x: 0.0, y: 0.0 },
-        max: Point { x: 1.0, y: 1.0 },
-    };
+    pub const UNIT: Rect = Rect { min: Point { x: 0.0, y: 0.0 }, max: Point { x: 1.0, y: 1.0 } };
 
     /// Creates a rectangle from its lower-left and upper-right corners.
     ///
@@ -146,19 +143,13 @@ impl Rect {
     /// The smallest rectangle containing both `self` and `other` (MBR union).
     #[inline]
     pub fn union(&self, other: &Rect) -> Rect {
-        Rect {
-            min: self.min.min(other.min),
-            max: self.max.max(other.max),
-        }
+        Rect { min: self.min.min(other.min), max: self.max.max(other.max) }
     }
 
     /// The smallest rectangle containing `self` and the point `p`.
     #[inline]
     pub fn union_point(&self, p: Point) -> Rect {
-        Rect {
-            min: self.min.min(p),
-            max: self.max.max(p),
-        }
+        Rect { min: self.min.min(p), max: self.max.max(p) }
     }
 
     /// Grows the rectangle by `margin` on every side (clamped to stay valid).
@@ -224,12 +215,7 @@ impl Rect {
     /// The four corners, counter-clockwise from the lower-left.
     #[inline]
     pub fn corners(&self) -> [Point; 4] {
-        [
-            self.min,
-            Point::new(self.max.x, self.min.y),
-            self.max,
-            Point::new(self.min.x, self.max.y),
-        ]
+        [self.min, Point::new(self.max.x, self.min.y), self.max, Point::new(self.min.x, self.max.y)]
     }
 
     /// Clamps `p` to the nearest point inside the rectangle.
@@ -274,10 +260,7 @@ impl Rect {
     /// `other` while staying inside `self`.
     pub fn escape_dist(&self, p: Point, other: &Rect) -> Option<f64> {
         let pieces = self.difference(other);
-        pieces
-            .iter()
-            .map(|r| r.min_dist(p))
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+        pieces.iter().map(|r| r.min_dist(p)).min_by(|a, b| a.partial_cmp(b).unwrap())
     }
 
     /// Increase in perimeter if this rectangle were enlarged to contain
@@ -304,11 +287,7 @@ impl Rect {
 
 impl fmt::Debug for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{:.6},{:.6}]x[{:.6},{:.6}]",
-            self.min.x, self.max.x, self.min.y, self.max.y
-        )
+        write!(f, "[{:.6},{:.6}]x[{:.6},{:.6}]", self.min.x, self.max.x, self.min.y, self.max.y)
     }
 }
 

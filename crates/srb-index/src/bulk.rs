@@ -32,10 +32,7 @@ pub fn bulk_load(mut entries: Vec<LeafEntry>, config: TreeConfig) -> RStarTree {
         slice.sort_by(|a, b| a.rect.center().y.partial_cmp(&b.rect.center().y).unwrap());
         for group in slice.chunks(cap) {
             let id = nodes.len() as NodeId;
-            let rect = group
-                .iter()
-                .skip(1)
-                .fold(group[0].rect, |acc, e| acc.union(&e.rect));
+            let rect = group.iter().skip(1).fold(group[0].rect, |acc, e| acc.union(&e.rect));
             for e in group {
                 leaf_of.insert(e.id, id);
             }
@@ -79,18 +76,11 @@ pub fn bulk_load(mut entries: Vec<LeafEntry>, config: TreeConfig) -> RStarTree {
             let rect = group
                 .iter()
                 .skip(1)
-                .fold(nodes[group[0] as usize].rect, |acc, &c| {
-                    acc.union(&nodes[c as usize].rect)
-                });
+                .fold(nodes[group[0] as usize].rect, |acc, &c| acc.union(&nodes[c as usize].rect));
             for &c in &group {
                 nodes[c as usize].parent = id;
             }
-            nodes.push(Node {
-                rect,
-                parent: NO_NODE,
-                kind: NodeKind::Internal(group),
-                level,
-            });
+            nodes.push(Node { rect, parent: NO_NODE, kind: NodeKind::Internal(group), level });
             next_level.push(id);
         }
         level_ids = next_level;
@@ -135,11 +125,8 @@ mod tests {
         let q = Rect::new(Point::new(0.2, 0.2), Point::new(0.4, 0.4));
         let mut got: Vec<u64> = t.search_vec(&q).iter().map(|e| e.id).collect();
         got.sort_unstable();
-        let mut expected: Vec<u64> = es
-            .iter()
-            .filter(|e| e.rect.intersects(&q))
-            .map(|e| e.id)
-            .collect();
+        let mut expected: Vec<u64> =
+            es.iter().filter(|e| e.rect.intersects(&q)).map(|e| e.id).collect();
         expected.sort_unstable();
         assert_eq!(got, expected);
     }

@@ -50,11 +50,7 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig {
-            max_entries: 32,
-            min_entries: 12,
-            reinsert_count: 9,
-        }
+        TreeConfig { max_entries: 32, min_entries: 12, reinsert_count: 9 }
     }
 }
 
@@ -63,9 +59,8 @@ impl TreeConfig {
     pub fn validated(mut self) -> Self {
         assert!(self.max_entries >= 4, "max_entries must be at least 4");
         self.min_entries = self.min_entries.clamp(2, self.max_entries / 2);
-        self.reinsert_count = self
-            .reinsert_count
-            .clamp(1, self.max_entries + 1 - 2 * self.min_entries);
+        self.reinsert_count =
+            self.reinsert_count.clamp(1, self.max_entries + 1 - 2 * self.min_entries);
         self
     }
 }
@@ -284,7 +279,7 @@ impl RStarTree {
                     0.0
                 };
                 let key = (overlap_enl, area_enl, crect.area());
-                if best.map_or(true, |(o, a, ar, _)| key < (o, a, ar)) {
+                if best.is_none_or(|(o, a, ar, _)| key < (o, a, ar)) {
                     best = Some((key.0, key.1, key.2, c));
                 }
             }
@@ -543,11 +538,7 @@ impl RStarTree {
     /// The stored rectangle of `id`, if present.
     pub fn get(&self, id: EntryId) -> Option<Rect> {
         let leaf = *self.leaf_of.get(&id)?;
-        self.node(leaf)
-            .leaf_entries()
-            .iter()
-            .find(|e| e.id == id)
-            .map(|e| e.rect)
+        self.node(leaf).leaf_entries().iter().find(|e| e.id == id).map(|e| e.rect)
     }
 
     /// Visits every entry whose rectangle intersects `query` (closed test).
@@ -837,7 +828,8 @@ mod tests {
 
     #[test]
     fn many_inserts_keep_invariants() {
-        let mut t = RStarTree::new(TreeConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 });
+        let mut t =
+            RStarTree::new(TreeConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 });
         for i in 0..500u64 {
             let x = ((i * 37) % 101) as f64 / 101.0;
             let y = ((i * 61) % 97) as f64 / 97.0;
@@ -850,7 +842,8 @@ mod tests {
 
     #[test]
     fn remove_everything() {
-        let mut t = RStarTree::new(TreeConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 });
+        let mut t =
+            RStarTree::new(TreeConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 });
         for i in 0..200u64 {
             let x = ((i * 37) % 101) as f64 / 101.0;
             let y = ((i * 61) % 97) as f64 / 97.0;
@@ -895,16 +888,15 @@ mod tests {
         }
         let q = Point::new(0.31, 0.77);
         let nn = t.nearest_iter(q).next().unwrap();
-        let brute = pts
-            .iter()
-            .min_by(|a, b| a.1.dist(q).partial_cmp(&b.1.dist(q)).unwrap())
-            .unwrap();
+        let brute =
+            pts.iter().min_by(|a, b| a.1.dist(q).partial_cmp(&b.1.dist(q)).unwrap()).unwrap();
         assert_eq!(nn.id, brute.0);
     }
 
     #[test]
     fn update_outcomes() {
-        let mut t = RStarTree::new(TreeConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 });
+        let mut t =
+            RStarTree::new(TreeConfig { max_entries: 8, min_entries: 3, reinsert_count: 2 });
         for i in 0..64u64 {
             let x = (i % 8) as f64 / 8.0;
             let y = (i / 8) as f64 / 8.0;

@@ -51,14 +51,12 @@ pub(crate) fn rstar_split(rects: &[Rect], min_entries: usize) -> SplitResult {
                 axis_margin += a.perimeter() + b.perimeter();
                 let overlap = a.overlap_area(b);
                 let area = a.area() + b.area();
-                if axis_best
-                    .map_or(true, |(o, ar, _)| overlap < o || (overlap == o && area < ar))
-                {
+                if axis_best.is_none_or(|(o, ar, _)| overlap < o || (overlap == o && area < ar)) {
                     axis_best = Some((overlap, area, k));
                 }
             }
             let (overlap, area, k) = axis_best.expect("at least one distribution");
-            if best.as_ref().map_or(true, |(m, o, ar, _, _)| {
+            if best.as_ref().is_none_or(|(m, o, ar, _, _)| {
                 axis_margin < *m
                     || (axis_margin == *m && (overlap < *o || (overlap == *o && area < *ar)))
             }) {
@@ -67,10 +65,7 @@ pub(crate) fn rstar_split(rects: &[Rect], min_entries: usize) -> SplitResult {
         }
     }
     let (_, _, _, order, k) = best.expect("split always finds a distribution");
-    SplitResult {
-        first: order[..k].to_vec(),
-        second: order[k..].to_vec(),
-    }
+    SplitResult { first: order[..k].to_vec(), second: order[k..].to_vec() }
 }
 
 #[inline]
@@ -131,9 +126,8 @@ mod tests {
 
     #[test]
     fn split_covers_all_indices_exactly_once() {
-        let rects: Vec<Rect> = (0..11)
-            .map(|i| r((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0))
-            .collect();
+        let rects: Vec<Rect> =
+            (0..11).map(|i| r((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0)).collect();
         let s = rstar_split(&rects, 4);
         let mut all: Vec<usize> = s.first.iter().chain(s.second.iter()).copied().collect();
         all.sort_unstable();

@@ -54,10 +54,10 @@ proptest! {
         for op in ops {
             match op {
                 Op::Insert(id, x, y, hx, hy) => {
-                    if !oracle.contains_key(&id) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = oracle.entry(id) {
                         let r = rect(x, y, hx, hy);
                         tree.insert(id, r);
-                        oracle.insert(id, r);
+                        e.insert(r);
                     }
                 }
                 Op::Remove(id) => {

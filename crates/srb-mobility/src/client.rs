@@ -20,6 +20,43 @@ pub enum ClientState {
     Pending,
 }
 
+/// Retry discipline for unacknowledged exit reports sent over an
+/// unreliable channel: the first retransmission fires `timeout` after the
+/// original send, and each further one doubles the wait (exponential
+/// backoff) up to `max_retries` attempts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Base retransmission timeout (time units after the previous send).
+    pub timeout: f64,
+    /// Maximum number of retransmissions per report.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { timeout: 0.25, max_retries: 6 }
+    }
+}
+
+impl RetryPolicy {
+    /// Wait before retransmission number `attempt` (1-based), measured from
+    /// the previous transmission: `timeout · 2^(attempt-1)`, capped to avoid
+    /// overflow on absurd attempt counts.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        self.timeout * (1u64 << attempt.saturating_sub(1).min(20)) as f64
+    }
+}
+
+/// An exit report the client has sent but not yet seen acknowledged (the
+/// server's safe-region grant doubles as the ACK).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PendingReport {
+    /// The reported position.
+    pub pos: Point,
+    /// The client-assigned sequence number of the report.
+    pub seq: u64,
+}
+
 /// A simulated mobile client.
 pub struct MobileClient {
     /// Identifier matching the server-side object id.
@@ -27,6 +64,8 @@ pub struct MobileClient {
     trajectory: Trajectory,
     safe_region: Option<Rect>,
     state: ClientState,
+    last_seq: u64,
+    inflight: Option<PendingReport>,
 }
 
 impl MobileClient {
@@ -37,6 +76,8 @@ impl MobileClient {
             trajectory,
             safe_region: None,
             state: ClientState::Unregistered,
+            last_seq: 0,
+            inflight: None,
         }
     }
 
@@ -60,11 +101,13 @@ impl MobileClient {
         self.safe_region
     }
 
-    /// Installs a safe region received from the server at time `t`.
-    /// Returns `false` when the client has already left it (possible under
-    /// communication delay, §7.2) — the caller must immediately send another
-    /// update.
+    /// Installs a safe region received from the server at time `t`. The
+    /// grant also acknowledges any in-flight exit report (retransmissions
+    /// stop). Returns `false` when the client has already left it (possible
+    /// under communication delay, §7.2) — the caller must immediately send
+    /// another update.
     pub fn receive_safe_region(&mut self, sr: Rect, t: f64) -> bool {
+        self.inflight = None;
         let pos = self.trajectory.position(t);
         self.safe_region = Some(sr);
         if sr.contains_point(pos) {
@@ -80,6 +123,29 @@ impl MobileClient {
     /// until a new safe region arrives).
     pub fn mark_pending(&mut self) {
         self.state = ClientState::Pending;
+    }
+
+    /// Records a freshly sent exit report: assigns it the next sequence
+    /// number, remembers it for retransmission until acknowledged, and puts
+    /// the client in the pending state. Returns the assigned sequence
+    /// number. Retransmissions reuse [`pending_report`](Self::pending_report)
+    /// verbatim instead of calling this again.
+    pub fn send_report(&mut self, pos: Point) -> u64 {
+        self.last_seq += 1;
+        self.inflight = Some(PendingReport { pos, seq: self.last_seq });
+        self.state = ClientState::Pending;
+        self.last_seq
+    }
+
+    /// The report awaiting acknowledgment, if any — the payload a
+    /// retransmission must resend unchanged.
+    pub fn pending_report(&self) -> Option<PendingReport> {
+        self.inflight
+    }
+
+    /// Highest sequence number assigned so far.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
     }
 
     /// The next time in `(from, until]` the client would issue a
@@ -154,6 +220,33 @@ mod tests {
         let fresh = Rect::new(Point::new(0.5, 0.4), Point::new(0.8, 0.6));
         assert!(c.receive_safe_region(fresh, 5.0));
         assert_eq!(c.state(), ClientState::Tracking);
+    }
+
+    #[test]
+    fn send_report_sequences_and_ack_clears() {
+        let mut c = straight_client();
+        let sr = Rect::new(Point::new(0.0, 0.4), Point::new(0.3, 0.6));
+        c.receive_safe_region(sr, 0.0);
+        let p = c.position(3.0);
+        assert_eq!(c.send_report(p), 1);
+        assert_eq!(c.state(), ClientState::Pending);
+        assert_eq!(c.pending_report(), Some(PendingReport { pos: p, seq: 1 }));
+        // The next grant is the ACK.
+        let fresh = Rect::new(Point::new(0.3, 0.4), Point::new(0.6, 0.6));
+        c.receive_safe_region(fresh, 3.0);
+        assert_eq!(c.pending_report(), None);
+        let p6 = c.position(6.0);
+        assert_eq!(c.send_report(p6), 2, "sequence keeps rising");
+        assert_eq!(c.last_seq(), 2);
+    }
+
+    #[test]
+    fn retry_backoff_doubles() {
+        let p = RetryPolicy { timeout: 0.5, max_retries: 4 };
+        assert_eq!(p.backoff(1), 0.5);
+        assert_eq!(p.backoff(2), 1.0);
+        assert_eq!(p.backoff(3), 2.0);
+        assert!(p.backoff(100).is_finite(), "backoff is overflow-capped");
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! deterministic piecewise-linear [`Trajectory`] generation with analytic
 //! safe-region exit times, and the client-side protocol logic
 //! ([`MobileClient`]) — report exactly on safe-region exit, stay silent
-//! while awaiting the server's response.
+//! while awaiting the server's response. Over an unreliable channel the
+//! client stamps reports with sequence numbers and retransmits
+//! unacknowledged ones under a [`RetryPolicy`] (exponential backoff); the
+//! server's safe-region grant doubles as the ACK.
 //!
 //! Everything is seeded and reproducible: the same `(seed, id)` pair always
 //! yields the same trajectory.
@@ -16,5 +19,5 @@
 mod client;
 mod waypoint;
 
-pub use client::{ClientState, MobileClient};
+pub use client::{ClientState, MobileClient, PendingReport, RetryPolicy};
 pub use waypoint::{MobilityConfig, Segment, Trajectory};

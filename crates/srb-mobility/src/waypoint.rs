@@ -79,11 +79,7 @@ pub struct MobilityConfig {
 
 impl Default for MobilityConfig {
     fn default() -> Self {
-        MobilityConfig {
-            space: Rect::UNIT,
-            mean_speed: 0.01,
-            mean_period: 0.005,
-        }
+        MobilityConfig { space: Rect::UNIT, mean_speed: 0.01, mean_period: 0.005 }
     }
 }
 
@@ -139,16 +135,9 @@ impl Trajectory {
     pub fn scripted(segments: Vec<Segment>) -> Trajectory {
         assert!(!segments.is_empty(), "scripted trajectory needs segments");
         for w in segments.windows(2) {
-            debug_assert!(
-                (w[0].t1 - w[1].t0).abs() < 1e-9,
-                "script segments must be contiguous"
-            );
+            debug_assert!((w[0].t1 - w[1].t0).abs() < 1e-9, "script segments must be contiguous");
         }
-        Trajectory {
-            segs: VecDeque::new(),
-            gen: Gen::Script { segments, next: 0 },
-            cursor: 0,
-        }
+        Trajectory { segs: VecDeque::new(), gen: Gen::Script { segments, next: 0 }, cursor: 0 }
     }
 
     /// A trajectory that never moves (useful for tests).
@@ -167,13 +156,10 @@ impl Trajectory {
                 let period = rng.gen::<f64>() * 2.0 * cfg.mean_period;
                 let to_dest = dest - *pos;
                 let dist = to_dest.norm();
-                let travel_time = if speed > 0.0 && dist > 0.0 { dist / speed } else { f64::INFINITY };
+                let travel_time =
+                    if speed > 0.0 && dist > 0.0 { dist / speed } else { f64::INFINITY };
                 let dur = period.min(travel_time).max(1e-9);
-                let vel = if dist > 0.0 {
-                    to_dest * (speed / dist)
-                } else {
-                    Point::ORIGIN
-                };
+                let vel = if dist > 0.0 { to_dest * (speed / dist) } else { Point::ORIGIN };
                 let seg = Segment { t0: *t, t1: *t + dur, start: *pos, vel };
                 *pos = seg.position(seg.t1);
                 *t = seg.t1;
@@ -198,7 +184,7 @@ impl Trajectory {
 
     /// Ensures segments cover time `t`.
     fn ensure_time(&mut self, t: f64) {
-        while self.segs.back().map_or(true, |s| s.t1 < t) {
+        while self.segs.back().is_none_or(|s| s.t1 < t) {
             let seg = self.generate_next();
             self.segs.push_back(seg);
         }
@@ -275,7 +261,7 @@ impl Trajectory {
 
     /// Discards retained segments that end before `t`, bounding memory.
     pub fn forget_before(&mut self, t: f64) {
-        while self.segs.len() > 1 && self.segs.front().map_or(false, |s| s.t1 < t) {
+        while self.segs.len() > 1 && self.segs.front().is_some_and(|s| s.t1 < t) {
             self.segs.pop_front();
             self.cursor = self.cursor.saturating_sub(1);
         }
@@ -293,12 +279,8 @@ mod tests {
 
     #[test]
     fn segment_position_interpolates() {
-        let s = Segment {
-            t0: 1.0,
-            t1: 3.0,
-            start: Point::new(0.0, 0.0),
-            vel: Point::new(0.5, 0.25),
-        };
+        let s =
+            Segment { t0: 1.0, t1: 3.0, start: Point::new(0.0, 0.0), vel: Point::new(0.5, 0.25) };
         assert_eq!(s.position(1.0), Point::new(0.0, 0.0));
         assert_eq!(s.position(2.0), Point::new(0.5, 0.25));
         assert_eq!(s.position(3.0), Point::new(1.0, 0.5));
@@ -308,12 +290,8 @@ mod tests {
 
     #[test]
     fn segment_exit_time_basic() {
-        let s = Segment {
-            t0: 0.0,
-            t1: 10.0,
-            start: Point::new(0.5, 0.5),
-            vel: Point::new(0.1, 0.0),
-        };
+        let s =
+            Segment { t0: 0.0, t1: 10.0, start: Point::new(0.5, 0.5), vel: Point::new(0.1, 0.0) };
         let rect = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
         // Hits x = 1.0 at t = 5.
         let exit = s.exit_time(&rect, 0.0).unwrap();
@@ -326,12 +304,8 @@ mod tests {
 
     #[test]
     fn segment_no_exit_when_contained() {
-        let s = Segment {
-            t0: 0.0,
-            t1: 1.0,
-            start: Point::new(0.5, 0.5),
-            vel: Point::new(0.1, 0.1),
-        };
+        let s =
+            Segment { t0: 0.0, t1: 1.0, start: Point::new(0.5, 0.5), vel: Point::new(0.1, 0.1) };
         let rect = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
         assert_eq!(s.exit_time(&rect, 0.0), None);
         // Stationary segment never exits.
@@ -348,10 +322,7 @@ mod tests {
             let t = i as f64 * 0.01;
             let pa = a.position(t);
             assert_eq!(pa, b.position(t), "determinism at t={t}");
-            assert!(
-                cfg.space.inflate(1e-9).contains_point(pa),
-                "escaped space at t={t}: {pa:?}"
-            );
+            assert!(cfg.space.inflate(1e-9).contains_point(pa), "escaped space at t={t}: {pa:?}");
         }
     }
 
@@ -383,9 +354,7 @@ mod tests {
         for id in 0..20u64 {
             let mut traj = Trajectory::random_waypoint(1234, id, cfg, 0.0);
             let p0 = traj.position(0.0);
-            let sr = Rect::centered(p0, 0.01, 0.015)
-                .intersection(&Rect::UNIT)
-                .unwrap();
+            let sr = Rect::centered(p0, 0.01, 0.015).intersection(&Rect::UNIT).unwrap();
             let exit = traj.first_exit(&sr, 0.0, 50.0);
             // Cross-check by sampling.
             let mut sampled = None;

@@ -1,7 +1,9 @@
 //! Simulation configuration (paper Table 7.1).
 
+use crate::channel::ChannelConfig;
 use srb_core::CostModel;
 use srb_geom::Rect;
+use srb_mobility::RetryPolicy;
 
 /// Full parameter set of one simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +51,19 @@ pub struct SimConfig {
     /// unit, which is impossible under instant reaction at its densities —
     /// see DESIGN.md §5).
     pub min_reaction: f64,
+    /// Fault model of the wireless channel. The default
+    /// ([`ChannelConfig::IDEAL`]) reproduces the paper's reliable network
+    /// bit-for-bit; any fault makes clients retransmit unacknowledged
+    /// reports per [`SimConfig::retry`].
+    pub channel: ChannelConfig,
+    /// Safe-region lease duration handed to the server
+    /// ([`srb_core::ServerConfig::lease`]): after `lease` time units without
+    /// contact the server probes the object, and the client re-requests a
+    /// region it suspects expired. `None` (default) = leases never expire.
+    pub lease: Option<f64>,
+    /// Client retransmission policy for exit reports. Only consulted when
+    /// [`SimConfig::channel`] is non-ideal.
+    pub retry: RetryPolicy,
 }
 
 impl SimConfig {
@@ -74,6 +89,9 @@ impl SimConfig {
             cost: CostModel::default(),
             space: Rect::UNIT,
             min_reaction: 0.05,
+            channel: ChannelConfig::IDEAL,
+            lease: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -81,12 +99,7 @@ impl SimConfig {
     /// relative costs stabilize well below the full scale (see DESIGN.md
     /// §5 for the substitution argument).
     pub fn bench_defaults() -> Self {
-        SimConfig {
-            n_objects: 4_000,
-            n_queries: 100,
-            duration: 10.0,
-            ..Self::paper_defaults()
-        }
+        SimConfig { n_objects: 4_000, n_queries: 100, duration: 10.0, ..Self::paper_defaults() }
     }
 
     /// Small configuration for unit/integration tests.
@@ -104,6 +117,13 @@ impl SimConfig {
     /// The maximum speed implied by the mobility model (`2·v̄`).
     pub fn max_speed(&self) -> f64 {
         2.0 * self.mean_speed
+    }
+
+    /// The client's retransmission timeout for this configuration: the
+    /// policy's base timeout plus a full round trip at worst-case jitter,
+    /// so a retry never fires while the ACK could still be in flight.
+    pub fn retry_timeout(&self) -> f64 {
+        self.retry.timeout + 2.0 * (self.delay + self.channel.jitter)
     }
 }
 
@@ -123,6 +143,8 @@ mod tests {
         assert_eq!(c.grid_m, 50);
         assert_eq!(c.cost.c_l, 1.0);
         assert_eq!(c.cost.c_p, 1.5);
+        assert!(c.channel.is_ideal(), "paper assumes a reliable channel");
+        assert!(c.lease.is_none());
     }
 
     #[test]

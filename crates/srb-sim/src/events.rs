@@ -26,10 +26,7 @@ impl<E> PartialOrd for Scheduled<E> {
 }
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.t
-            .total_cmp(&other.t)
-            .then(self.class.cmp(&other.class))
-            .then(self.seq.cmp(&other.seq))
+        self.t.total_cmp(&other.t).then(self.class.cmp(&other.class)).then(self.seq.cmp(&other.seq))
     }
 }
 

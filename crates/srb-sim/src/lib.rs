@@ -18,10 +18,17 @@
 //! All runs are deterministic in [`SimConfig::seed`]; metrics follow §7.1
 //! (accuracy, amortized communication cost with `c_l = 1`, `c_p = 1.5`,
 //! CPU time per logical time unit).
+//!
+//! Beyond the paper, every message can be routed through a lossy
+//! [`ChannelModel`] (loss, duplication, jitter, disconnect windows); SRB
+//! then recovers via sequence numbers, safe-region leases, and client
+//! retransmission — see `DESIGN.md` §9. The default [`ChannelConfig`] is
+//! ideal and reproduces the paper bit-for-bit.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod channel;
 mod config;
 mod events;
 mod metrics;
@@ -31,6 +38,7 @@ mod srb;
 mod truth;
 mod workload;
 
+pub use channel::{ChannelConfig, ChannelModel};
 pub use config::SimConfig;
 pub use events::EventQueue;
 pub use metrics::{AccuracyAcc, RunMetrics};

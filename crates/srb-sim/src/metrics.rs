@@ -10,10 +10,29 @@ pub struct RunMetrics {
     /// Fraction of `(query, sample)` pairs where the monitored result set
     /// exactly matched the ground truth (`ma(Q, t)` time-averaged).
     pub accuracy: f64,
-    /// Source-initiated updates received by the server.
+    /// Source-initiated updates *accepted* by the server (duplicates and
+    /// lost messages excluded).
     pub uplinks: u64,
     /// Server-initiated probes issued.
     pub probes: u64,
+    /// Uplink transmissions by clients, including retransmissions — what
+    /// the client radio actually pays for. Equals `uplinks` on an ideal
+    /// channel.
+    pub uplinks_sent: u64,
+    /// Retransmissions of unacknowledged exit reports (subset of
+    /// `uplinks_sent`).
+    pub retransmissions: u64,
+    /// Messages the channel dropped (uplink + downlink).
+    pub channel_drops: u64,
+    /// Extra copies the channel delivered (duplication faults).
+    pub channel_duplicates: u64,
+    /// Duplicate/reordered updates the server rejected by sequence number.
+    pub stale_seq_drops: u64,
+    /// Probes fired by the server because a safe-region lease lapsed.
+    pub lease_probes: u64,
+    /// Safe regions re-sent in response to duplicate updates (lost-ACK
+    /// recovery).
+    pub regrants: u64,
     /// Amortized wireless cost per client per time unit
     /// (`(uplinks·c_l + probes·c_p) / (N · duration)`).
     pub comm_cost: f64,
@@ -35,21 +54,17 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    /// Communication cost helper.
-    pub fn finish_comm(
-        &mut self,
-        c_l: f64,
-        c_p: f64,
-        n_objects: usize,
-        duration: f64,
-    ) {
-        let total = self.uplinks as f64 * c_l + self.probes as f64 * c_p;
+    /// Communication cost helper. Cost is charged per uplink *sent* (the
+    /// client pays for retransmissions whether or not they arrive); callers
+    /// that model a reliable channel set `uplinks_sent = uplinks`.
+    pub fn finish_comm(&mut self, c_l: f64, c_p: f64, n_objects: usize, duration: f64) {
+        if self.uplinks_sent == 0 {
+            self.uplinks_sent = self.uplinks;
+        }
+        let total = self.uplinks_sent as f64 * c_l + self.probes as f64 * c_p;
         self.comm_cost = total / (n_objects as f64 * duration);
-        self.comm_cost_per_distance = if self.total_distance > 0.0 {
-            total / self.total_distance
-        } else {
-            0.0
-        };
+        self.comm_cost_per_distance =
+            if self.total_distance > 0.0 { total / self.total_distance } else { 0.0 };
     }
 }
 
@@ -102,10 +117,25 @@ mod tests {
 
     #[test]
     fn comm_cost_formula() {
-        let mut m = RunMetrics { uplinks: 100, probes: 40, total_distance: 50.0, ..Default::default() };
+        let mut m =
+            RunMetrics { uplinks: 100, probes: 40, total_distance: 50.0, ..Default::default() };
         m.finish_comm(1.0, 1.5, 10, 10.0);
         // total = 100 + 60 = 160; per client-tu = 160/100 = 1.6
         assert!((m.comm_cost - 1.6).abs() < 1e-12);
         assert!((m.comm_cost_per_distance - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_cost_charges_sent_uplinks_under_loss() {
+        // 120 sent but only 100 received: the client still paid for 120.
+        let mut m = RunMetrics {
+            uplinks: 100,
+            uplinks_sent: 120,
+            retransmissions: 20,
+            probes: 0,
+            ..Default::default()
+        };
+        m.finish_comm(1.0, 1.5, 10, 12.0);
+        assert!((m.comm_cost - 1.0).abs() < 1e-12);
     }
 }

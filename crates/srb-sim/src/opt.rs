@@ -81,6 +81,9 @@ pub fn run_opt(cfg: &SimConfig) -> RunMetrics {
 
     metrics.accuracy = 1.0;
     metrics.probes = 0;
+    // OPT is the clairvoyant lower bound; it is defined on the reliable
+    // channel (a lossy OPT would not be optimal), so sent == received.
+    metrics.uplinks_sent = metrics.uplinks;
     metrics.total_distance = (0..cfg.n_objects)
         .map(|i| {
             let mut tr = Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0);

@@ -4,6 +4,7 @@
 //! paper describes) and reevaluates every registered query from scratch.
 //! Results are stale between rounds — the source of PRD's accuracy gap.
 
+use crate::channel::ChannelModel;
 use crate::config::SimConfig;
 use crate::metrics::{AccuracyAcc, RunMetrics};
 use crate::truth::{evaluate_truth, results_match, TruthResults};
@@ -56,16 +57,27 @@ pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
     let mut metrics = RunMetrics::default();
     let mut acc = AccuracyAcc::default();
     let mut cpu = 0.0f64;
+    // PRD has no ACK/retry protocol: a lost round update simply leaves the
+    // server evaluating that client at its last delivered position until
+    // the next round — the scheme's natural (and only) recovery path.
+    let mut channel = ChannelModel::new(
+        cfg.channel,
+        cfg.seed ^ super::srb::CHANNEL_SEED_XOR,
+        cfg.n_objects,
+        cfg.duration,
+    );
 
     // Merge round instants and sample instants into one monotone walk.
     // `current` holds the results computed at the latest round whose
-    // arrival time (round + delay) is in the past.
+    // arrival time (round + delay) is in the past. `last_known` is the
+    // server's view of each client (initial registration is reliable).
+    let mut last_known: Vec<Point> = trajs.iter_mut().map(|t| t.position(0.0)).collect();
     let mut current = {
-        let positions: Vec<Point> = trajs.iter_mut().map(|t| t.position(0.0)).collect();
         let t0 = Instant::now();
-        let r = prd_round(&positions, &specs);
+        let r = prd_round(&last_known, &specs);
         cpu += t0.elapsed().as_secs_f64();
         metrics.uplinks += cfg.n_objects as u64;
+        metrics.uplinks_sent += cfg.n_objects as u64;
         r
     };
     let mut pending: Option<(f64, Vec<Vec<u64>>)> = None;
@@ -84,13 +96,20 @@ pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
             }
         }
         if (t - next_round).abs() < 1e-12 {
-            // Synchronized update round: every client uplinks; the server
-            // rebuilds and reevaluates everything.
-            let positions: Vec<Point> = trajs.iter_mut().map(|tr| tr.position(t)).collect();
+            // Synchronized update round: every client uplinks (and pays for
+            // the send); the server rebuilds from whatever arrived, keeping
+            // the last delivered position of clients whose update was lost.
+            for (i, tr) in trajs.iter_mut().enumerate() {
+                metrics.uplinks_sent += 1;
+                if channel.transmit(i, t).is_empty() {
+                    continue;
+                }
+                metrics.uplinks += 1;
+                last_known[i] = tr.position(t);
+            }
             let t0 = Instant::now();
-            let results = prd_round(&positions, &specs);
+            let results = prd_round(&last_known, &specs);
             cpu += t0.elapsed().as_secs_f64();
-            metrics.uplinks += cfg.n_objects as u64;
             if cfg.delay == 0.0 {
                 current = results;
             } else {
@@ -102,8 +121,7 @@ pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
             // Accuracy sample.
             let positions: Vec<Point> = trajs.iter_mut().map(|tr| tr.position(t)).collect();
             let truth = evaluate_truth(&positions, &specs);
-            for ((spec, monitored), truth_row) in
-                specs.iter().zip(current.iter()).zip(truth.iter())
+            for ((spec, monitored), truth_row) in specs.iter().zip(current.iter()).zip(truth.iter())
             {
                 acc.record(results_match(spec, monitored, truth_row));
             }
@@ -117,6 +135,8 @@ pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
 
     metrics.accuracy = acc.value();
     metrics.probes = 0;
+    metrics.channel_drops = channel.dropped;
+    metrics.channel_duplicates = channel.duplicates;
     metrics.total_distance = (0..cfg.n_objects)
         .map(|i| {
             let mut tr = Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0);

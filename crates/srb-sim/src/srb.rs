@@ -4,17 +4,22 @@
 //! answered with true positions, and periodic ground-truth sampling for the
 //! accuracy metric.
 
+use crate::channel::ChannelModel;
 use crate::config::SimConfig;
 use crate::events::EventQueue;
 use crate::metrics::{AccuracyAcc, RunMetrics};
 use crate::truth::{evaluate_truth, results_match};
 use crate::workload::generate_workload;
 use srb_core::{
-    LocationProvider, ObjectId, QueryId, QuerySpec, Server, ServerConfig,
+    LocationProvider, ObjectId, QueryId, QuerySpec, SequencedUpdate, Server, ServerConfig,
 };
 use srb_geom::{Point, Rect};
 use srb_mobility::{MobileClient, MobilityConfig, Trajectory};
 use std::time::Instant;
+
+/// Seed-stream separator so channel faults are decorrelated from the
+/// trajectory and workload streams derived from the same master seed.
+pub(crate) const CHANNEL_SEED_XOR: u64 = 0x6c6f_7373_7921; // "lossy!"
 
 /// Minimum spacing enforced between consecutive updates of one client even
 /// when `min_reaction` is zero, to let boundary-pinned objects make
@@ -36,10 +41,17 @@ enum Ev {
     /// matches).
     Exit { id: u32, version: u64 },
     /// The server receives a source-initiated update (after
-    /// the uplink delay).
-    Recv { id: u32, pos: Point },
+    /// the uplink delay and any channel jitter).
+    Recv { id: u32, pos: Point, seq: u64 },
     /// A client receives its new safe region (after the downlink delay).
     Sr { id: u32, sr: Rect },
+    /// Retransmission timer for an unacknowledged exit report; valid only
+    /// while the client's in-flight report still carries `seq`.
+    Retry { id: u32, seq: u64, attempt: u32 },
+    /// Client-side lease check: if no grant arrived since `version`, the
+    /// client assumes its region (or its last report's ACK) was lost and
+    /// re-requests with a fresh report.
+    LeaseCheck { id: u32, version: u64 },
     /// Consult the server's deferred-probe queue.
     Deferred,
     /// Ground-truth sampling instant.
@@ -72,11 +84,22 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
         max_speed: cfg.reachability.then(|| cfg.max_speed()),
         steadiness: cfg.steadiness,
         cost: cfg.cost,
+        lease: cfg.lease,
         ..Default::default()
     };
     let mut server = Server::new(server_cfg);
+    let mut channel =
+        ChannelModel::new(cfg.channel, cfg.seed ^ CHANNEL_SEED_XOR, cfg.n_objects, cfg.duration);
+    let channel_ideal = cfg.channel.is_ideal();
+    // Retry timers only exist on a faulty channel; lease checks only with a
+    // finite lease. On the ideal/infinite configuration neither event is
+    // ever scheduled, keeping runs bit-identical to the paper's.
+    let rto = cfg.retry_timeout();
+    let lease_grace = cfg.lease.map(|l| l + 2.0 * (cfg.delay + cfg.channel.jitter) + 1e-6);
     let mut clients: Vec<MobileClient> = (0..cfg.n_objects)
-        .map(|i| MobileClient::new(i as u32, Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0)))
+        .map(|i| {
+            MobileClient::new(i as u32, Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0))
+        })
         .collect();
     let mut versions: Vec<u64> = vec![0; cfg.n_objects];
     let mut last_update: Vec<f64> = vec![0.0; cfg.n_objects];
@@ -88,7 +111,9 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
         for i in 0..cfg.n_objects {
             let pos = clients[i].position(0.0);
             let mut provider = Provider { clients: &mut clients, now: 0.0, probed: Vec::new() };
-            let sr = server.add_object(ObjectId(i as u32), pos, &mut provider, 0.0);
+            let sr = server
+                .add_object(ObjectId(i as u32), pos, &mut provider, 0.0)
+                .expect("object ids are distinct");
             clients[i].receive_safe_region(sr, 0.0);
         }
         cpu += t0.elapsed().as_secs_f64();
@@ -113,7 +138,10 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
     let mut q: EventQueue<Ev> = EventQueue::new();
     for i in 0..cfg.n_objects {
         if let Some(te) = clients[i].next_report(0.0, cfg.duration) {
-            q.push(check_tick(te, cfg.min_reaction), Ev::Exit { id: i as u32, version: versions[i] });
+            q.push(
+                check_tick(te, cfg.min_reaction),
+                Ev::Exit { id: i as u32, version: versions[i] },
+            );
         }
     }
     // Sample times are computed as products (k * interval), bit-identical
@@ -137,8 +165,36 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
     // so no query is evaluated against a stale bound of a simultaneous
     // mover (the paper's sequential-processing assumption, upheld at tick
     // granularity).
-    let mut batch: Vec<(ObjectId, Point)> = Vec::new();
+    let mut batch: Vec<SequencedUpdate> = Vec::new();
     let mut batch_t = 0.0f64;
+    let rtt_pad = 2.0 * (cfg.delay + cfg.channel.jitter);
+    // Downlink delivery of a safe-region grant: through the channel, so a
+    // grant (the implicit ACK) can be lost, duplicated, or jittered. On the
+    // ideal channel this is exactly one push at `at`.
+    macro_rules! deliver_sr {
+        ($oid:expr, $sr:expr, $at:expr) => {{
+            let oid: u32 = $oid;
+            for d in channel.transmit(oid as usize, $at) {
+                q.push($at + d, Ev::Sr { id: oid, sr: $sr });
+            }
+        }};
+    }
+    // Uplink send of a fresh exit report: assigns the sequence number,
+    // transmits through the channel, and (on a faulty channel only) arms
+    // the retransmission timer.
+    macro_rules! send_report {
+        ($i:expr, $t:expr, $pos:expr) => {{
+            let i: usize = $i;
+            let seq = clients[i].send_report($pos);
+            metrics.uplinks_sent += 1;
+            for d in channel.transmit(i, $t) {
+                q.push($t + cfg.delay + d, Ev::Recv { id: i as u32, pos: $pos, seq });
+            }
+            if !channel_ideal {
+                q.push($t + rto, Ev::Retry { id: i as u32, seq, attempt: 1 });
+            }
+        }};
+    }
     macro_rules! flush_batch {
         () => {
             if !batch.is_empty() {
@@ -146,7 +202,7 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
                 let resps = {
                     let mut provider =
                         Provider { clients: &mut clients, now: batch_t, probed: Vec::new() };
-                    let resps = server.handle_location_updates(&batch, &mut provider, batch_t);
+                    let resps = server.handle_sequenced_updates(&batch, &mut provider, batch_t);
                     for &p in &provider.probed {
                         provider.clients[p as usize].mark_pending();
                     }
@@ -157,9 +213,9 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
                 // location update τ time units after the client sends it");
                 // responses are modeled as immediate.
                 for (oid, resp) in resps {
-                    q.push(batch_t, Ev::Sr { id: oid.0, sr: resp.safe_region });
+                    deliver_sr!(oid.0, resp.safe_region, batch_t);
                     for (other, sr) in resp.probed {
-                        q.push(batch_t, Ev::Sr { id: other.0, sr });
+                        deliver_sr!(other.0, sr, batch_t);
                     }
                 }
                 if let Some(due) = server.next_deferred_due() {
@@ -177,7 +233,7 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
             flush_batch!();
         }
         event_count += 1;
-        if event_count % 1_000_000 == 0 && std::env::var_os("SRB_TRACE").is_some() {
+        if event_count.is_multiple_of(1_000_000) && std::env::var_os("SRB_TRACE").is_some() {
             eprintln!("[srb-sim] {event_count} events, t = {t:.6}, queue = {}", q.len());
         }
         match ev {
@@ -198,23 +254,53 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
                         continue;
                     }
                 }
-                clients[i].mark_pending();
-                q.push(t + cfg.delay, Ev::Recv { id, pos });
+                send_report!(i, t, pos);
             }
-            Ev::Recv { id, pos } => {
+            Ev::Recv { id, pos, seq } => {
                 last_update[id as usize] = t;
                 batch_t = t;
-                batch.push((ObjectId(id), pos));
+                batch.push(SequencedUpdate { id: ObjectId(id), pos, seq });
                 // Keep buffering only while more reports arrive at this
                 // same instant; otherwise process now so clients resume
                 // tracking without a gap.
-                if q.peek_time().map_or(true, |nt| nt > t + 1e-12) {
+                if q.peek_time().is_none_or(|nt| nt > t + 1e-12) {
                     flush_batch!();
                 }
+            }
+            Ev::Retry { id, seq, attempt } => {
+                let i = id as usize;
+                // Valid only while that exact report is still unacknowledged.
+                let Some(rep) = clients[i].pending_report() else { continue };
+                if rep.seq != seq || attempt > cfg.retry.max_retries {
+                    continue;
+                }
+                metrics.uplinks_sent += 1;
+                metrics.retransmissions += 1;
+                for d in channel.transmit(i, t) {
+                    q.push(t + cfg.delay + d, Ev::Recv { id, pos: rep.pos, seq });
+                }
+                q.push(
+                    t + cfg.retry.backoff(attempt + 1) + rtt_pad,
+                    Ev::Retry { id, seq, attempt: attempt + 1 },
+                );
+            }
+            Ev::LeaseCheck { id, version } => {
+                let i = id as usize;
+                if versions[i] != version {
+                    continue; // heard from the server since: lease renewed
+                }
+                // A full lease (plus round-trip grace) passed with no grant:
+                // assume our report's ACK or the server's lease-probe grant
+                // was lost and re-request with a fresh position report.
+                let pos = clients[i].position(t);
+                send_report!(i, t, pos);
             }
             Ev::Sr { id, sr } => {
                 let i = id as usize;
                 versions[i] += 1;
+                if let Some(g) = lease_grace {
+                    q.push(t + g, Ev::LeaseCheck { id, version: versions[i] });
+                }
                 if clients[i].receive_safe_region(sr, t) {
                     let from = t.max(last_update[i] + EXIT_EPS);
                     if let Some(te) = clients[i].next_report(from, cfg.duration) {
@@ -245,9 +331,9 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
                         };
                         cpu += t0.elapsed().as_secs_f64();
                         for (oid, resp) in resps {
-                            q.push(t, Ev::Sr { id: oid.0, sr: resp.safe_region });
+                            deliver_sr!(oid.0, resp.safe_region, t);
                             for (other, sr) in resp.probed {
-                                q.push(t, Ev::Sr { id: other.0, sr });
+                                deliver_sr!(other.0, sr, t);
                             }
                         }
                     }
@@ -284,6 +370,20 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
     let costs = server.costs();
     metrics.uplinks = costs.source_updates;
     metrics.probes = costs.probes;
+    let work = server.work();
+    metrics.stale_seq_drops = work.stale_seq_drops;
+    metrics.lease_probes = work.lease_probes;
+    metrics.regrants = work.regrants;
+    metrics.channel_drops = channel.dropped;
+    metrics.channel_duplicates = channel.duplicates;
+    if channel_ideal {
+        // The paper's cost metric counts server-received updates. On the
+        // reliable channel sent and received differ only by reports still
+        // in flight when the run ends (possible when τ > 0), which the
+        // figures exclude — keep them bit-comparable. Under faults the
+        // client radio pays for every transmission, so sends are charged.
+        metrics.uplinks_sent = metrics.uplinks;
+    }
     metrics.total_distance = clients
         .iter_mut()
         .map(|c| {

@@ -112,7 +112,8 @@ fn reachability_reduces_probes() {
     // unbounded rates and the deferred-probe machinery amplifies the cost
     // (see DESIGN.md §8); exact-at-instant-reaction semantics with the
     // enhancement are covered by the core-level `oracle_with_reachability`.
-    let base = SimConfig { n_objects: 400, n_queries: 30, duration: 4.0, min_reaction: 1e-3, ..cfg() };
+    let base =
+        SimConfig { n_objects: 400, n_queries: 30, duration: 4.0, min_reaction: 1e-3, ..cfg() };
     let enhanced = SimConfig { reachability: true, ..base };
     let m0 = run_srb(&base);
     let m1 = run_srb(&enhanced);

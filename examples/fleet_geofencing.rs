@@ -32,11 +32,11 @@ fn main() {
     });
 
     // Register the fleet.
-    for i in 0..FLEET {
-        let pos = fleet[i].position(0.0);
+    for (i, truck) in fleet.iter_mut().enumerate() {
+        let pos = truck.position(0.0);
         let mut provider = FnProvider(|_id: ObjectId| unreachable!("no probes at add"));
-        let sr = server.add_object(ObjectId(i as u32), pos, &mut provider, 0.0);
-        fleet[i].receive_safe_region(sr, 0.0);
+        let sr = server.add_object(ObjectId(i as u32), pos, &mut provider, 0.0).expect("fresh id");
+        truck.receive_safe_region(sr, 0.0);
     }
 
     // Service zones across the city.
@@ -70,10 +70,11 @@ fn main() {
             let sr = fleet[i].safe_region().expect("registered");
             if !sr.contains_point(pos) {
                 let resp = {
-                    let snapshot: Vec<Point> =
-                        fleet.iter_mut().map(|c| c.position(t)).collect();
+                    let snapshot: Vec<Point> = fleet.iter_mut().map(|c| c.position(t)).collect();
                     let mut provider = FnProvider(move |id: ObjectId| snapshot[id.index()]);
-                    server.handle_location_update(ObjectId(i as u32), pos, &mut provider, t)
+                    server
+                        .handle_location_update(ObjectId(i as u32), pos, &mut provider, t)
+                        .expect("registered object")
                 };
                 events += resp.changes.len() as u64;
                 fleet[i].receive_safe_region(resp.safe_region, t);

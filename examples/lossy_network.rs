@@ -1,0 +1,71 @@
+//! Lossy network demo: what happens to safe-region monitoring when the
+//! wireless channel starts eating messages — and how the hardened protocol
+//! (sequence numbers, leases, client retransmission with exponential
+//! backoff) recovers.
+//!
+//! Runs the same world three times:
+//!
+//! 1. ideal channel (the paper's assumption) — the reference figures;
+//! 2. 10% loss with the fault handling *disabled* (no lease, no retries) —
+//!    dropped exit reports silently corrupt results forever;
+//! 3. 10% loss with leases + retries — accuracy recovers to within a few
+//!    percent of the ideal run, paid for in extra uplinks and probes.
+//!
+//! ```bash
+//! cargo run --release --example lossy_network
+//! ```
+
+use srb::mobility::RetryPolicy;
+use srb::sim::{run_scheme, ChannelConfig, RunMetrics, Scheme, SimConfig};
+
+fn report(label: &str, m: &RunMetrics) {
+    println!(
+        "{label:<28} accuracy={:>7.4}  comm={:>9.3}  sent={:>6}  delivered={:>6}",
+        m.accuracy, m.comm_cost, m.uplinks_sent, m.uplinks
+    );
+    println!(
+        "{:<28} drops={}  retransmissions={}  stale-seq drops={}  lease probes={}  regrants={}",
+        "", m.channel_drops, m.retransmissions, m.stale_seq_drops, m.lease_probes, m.regrants
+    );
+}
+
+fn main() {
+    let ideal =
+        SimConfig { n_objects: 1_000, n_queries: 20, duration: 6.0, ..SimConfig::paper_defaults() };
+    println!(
+        "world: N={} objects, W={} queries, {} time units, seed {}\n",
+        ideal.n_objects, ideal.n_queries, ideal.duration, ideal.seed
+    );
+
+    // 1. The paper's reliable channel.
+    let m = run_scheme(Scheme::Srb, &ideal);
+    report("ideal channel", &m);
+
+    // 2. Pull the rug: 10% of all messages (uplink exit reports *and*
+    //    downlink safe-region grants) vanish. No recovery machinery: a
+    //    client whose report is lost retries, but without a lease the
+    //    server never second-guesses a silent client, and a client whose
+    //    grant is lost at registration... stays silent.
+    let lossy = SimConfig { channel: ChannelConfig::lossy(0.10), ..ideal };
+    let m = run_scheme(Scheme::Srb, &lossy);
+    report("10% loss, retries only", &m);
+
+    // 3. Full hardening: 1-time-unit leases make the server probe any
+    //    client it has not heard from, repairing results the lost reports
+    //    corrupted; retries with exponential backoff recover most lost
+    //    uplinks much sooner than the lease can.
+    let hardened = SimConfig {
+        lease: Some(1.0),
+        retry: RetryPolicy { timeout: 0.1, max_retries: 6 },
+        ..lossy
+    };
+    let m = run_scheme(Scheme::Srb, &hardened);
+    report("10% loss, lease + retries", &m);
+
+    println!(
+        "\nThe hardened run buys its accuracy back with retransmissions and lease\n\
+         probes. With the paper's defaults (ideal channel, no lease) the fault path\n\
+         is completely inert — no randomness drawn, no extra events — so all paper\n\
+         figures are reproduced bit-for-bit."
+    );
+}

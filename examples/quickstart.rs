@@ -25,7 +25,8 @@ fn main() {
         let ps = positions.clone();
         let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
         for (i, &p) in positions.iter().enumerate() {
-            let sr = server.add_object(ObjectId(i as u32), p, &mut provider, 0.0);
+            let sr =
+                server.add_object(ObjectId(i as u32), p, &mut provider, 0.0).expect("fresh id");
             println!("object o{i} at {p:?} got safe region {sr:?}");
         }
     }
@@ -40,11 +41,8 @@ fn main() {
             0.0,
         );
         println!("\nrange query {} initial results: {:?}", range.id, range.results);
-        let knn = server.register_query(
-            QuerySpec::knn(Point::new(1.0, 0.5), 2),
-            &mut provider,
-            0.0,
-        );
+        let knn =
+            server.register_query(QuerySpec::knn(Point::new(1.0, 0.5), 2), &mut provider, 0.0);
         println!("2NN query {} initial results: {:?}", knn.id, knn.results);
         (range.id, knn.id)
     };
@@ -60,7 +58,9 @@ fn main() {
         if !sr.contains_point(pos) {
             let ps = positions.clone();
             let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
-            let resp = server.handle_location_update(ObjectId(1), pos, &mut provider, now);
+            let resp = server
+                .handle_location_update(ObjectId(1), pos, &mut provider, now)
+                .expect("registered object");
             for change in &resp.changes {
                 println!(
                     "  t={now}: o1 at x={:.2} -> query {} results now {:?}",

@@ -18,21 +18,17 @@ const DURATION: f64 = 10.0;
 const TICK: f64 = 0.02;
 
 fn main() {
-    let mob = MobilityConfig {
-        mean_speed: 0.03,
-        mean_period: 1.0,
-        ..Default::default()
-    };
+    let mob = MobilityConfig { mean_speed: 0.03, mean_period: 1.0, ..Default::default() };
     let mut drivers: Vec<MobileClient> = (0..DRIVERS)
         .map(|i| MobileClient::new(i as u32, Trajectory::random_waypoint(99, i as u64, mob, 0.0)))
         .collect();
 
     let mut server = Server::with_defaults();
-    for i in 0..DRIVERS {
-        let pos = drivers[i].position(0.0);
+    for (i, driver) in drivers.iter_mut().enumerate() {
+        let pos = driver.position(0.0);
         let mut provider = FnProvider(|_id: ObjectId| unreachable!());
-        let sr = server.add_object(ObjectId(i as u32), pos, &mut provider, 0.0);
-        drivers[i].receive_safe_region(sr, 0.0);
+        let sr = server.add_object(ObjectId(i as u32), pos, &mut provider, 0.0).expect("fresh id");
+        driver.receive_safe_region(sr, 0.0);
     }
 
     // Pickup points around the city center.
@@ -61,10 +57,11 @@ fn main() {
             let sr = drivers[i].safe_region().expect("registered");
             if !sr.contains_point(pos) {
                 let resp = {
-                    let snapshot: Vec<Point> =
-                        drivers.iter_mut().map(|c| c.position(t)).collect();
+                    let snapshot: Vec<Point> = drivers.iter_mut().map(|c| c.position(t)).collect();
                     let mut provider = FnProvider(move |id: ObjectId| snapshot[id.index()]);
-                    server.handle_location_update(ObjectId(i as u32), pos, &mut provider, t)
+                    server
+                        .handle_location_update(ObjectId(i as u32), pos, &mut provider, t)
+                        .expect("registered object")
                 };
                 drivers[i].receive_safe_region(resp.safe_region, t);
                 for (oid, sr) in resp.probed {

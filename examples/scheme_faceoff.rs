@@ -48,11 +48,7 @@ fn main() {
         "scheme", "accuracy", "comm cost", "cpu s/tu", "uplinks", "probes"
     );
     for (i, (name, scheme)) in schemes.iter().enumerate() {
-        let run_cfg = if i == 1 {
-            SimConfig { reachability: true, ..cfg }
-        } else {
-            cfg
-        };
+        let run_cfg = if i == 1 { SimConfig { reachability: true, ..cfg } } else { cfg };
         let m: RunMetrics = run_scheme(*scheme, &run_cfg);
         println!(
             "{name:<20} {:>9.4} {:>10.4} {:>12.5} {:>10} {:>9}",

@@ -24,7 +24,7 @@
 //! let mut provider = FnProvider(|id: ObjectId| positions[id.index()]);
 //! let mut server = Server::with_defaults();
 //! for (i, &p) in positions.iter().enumerate() {
-//!     server.add_object(ObjectId(i as u32), p, &mut provider, 0.0);
+//!     server.add_object(ObjectId(i as u32), p, &mut provider, 0.0).expect("fresh id");
 //! }
 //! let reg = server.register_query(
 //!     QuerySpec::range(Rect::new(Point::new(0.0, 0.0), Point::new(0.5, 0.5))),

@@ -21,12 +21,20 @@ fn trajectory_driven_monitoring_stays_exact() {
     {
         let ps = snapshot.clone();
         let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
-        for i in 0..n {
-            server.add_object(ObjectId(i as u32), snapshot[i], &mut provider, 0.0);
+        for (i, &pos) in snapshot.iter().enumerate() {
+            server.add_object(ObjectId(i as u32), pos, &mut provider, 0.0).expect("fresh id");
         }
-        server.register_query(QuerySpec::range(Rect::centered(Point::new(0.5, 0.5), 0.1, 0.1)), &mut provider, 0.0);
+        server.register_query(
+            QuerySpec::range(Rect::centered(Point::new(0.5, 0.5), 0.1, 0.1)),
+            &mut provider,
+            0.0,
+        );
         server.register_query(QuerySpec::knn(Point::new(0.25, 0.75), 4), &mut provider, 0.0);
-        server.register_query(QuerySpec::knn_unordered(Point::new(0.8, 0.2), 3), &mut provider, 0.0);
+        server.register_query(
+            QuerySpec::knn_unordered(Point::new(0.8, 0.2), 3),
+            &mut provider,
+            0.0,
+        );
     }
 
     let steps = 400;
@@ -39,7 +47,9 @@ fn trajectory_driven_monitoring_stays_exact() {
             if !sr.contains_point(snapshot[i]) {
                 let ps = snapshot.clone();
                 let mut provider = FnProvider(move |id: ObjectId| ps[id.index()]);
-                server.handle_location_update(oid, snapshot[i], &mut provider, t);
+                server
+                    .handle_location_update(oid, snapshot[i], &mut provider, t)
+                    .expect("registered object");
             }
         }
         if step % 50 == 0 {

@@ -1,0 +1,153 @@
+//! Offline subset of the `criterion` 0.5 API: `Criterion`,
+//! `benchmark_group`, `bench_function`, `iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical engine it runs a bounded timing loop and prints a mean
+//! ns/iter — enough to compare hot paths locally without a registry.
+
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration batching mode for [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small setup outputs: batch many iterations per setup run.
+    SmallInput,
+    /// Large setup outputs: one setup per iteration.
+    LargeInput,
+    /// Setup output per iteration (alias of `LargeInput` in this subset).
+    PerIteration,
+}
+
+/// Timing budget shared by all benchmarks in this subset.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Passed to benchmark closures; runs and times the workload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self { total: Duration::ZERO, iters: 0 }
+    }
+
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup.
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm = Instant::now();
+        while warm.elapsed() < WARMUP_BUDGET {
+            black_box(routine(setup()));
+        }
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name:<40} (no iterations)");
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        println!("bench {name:<40} {ns:>14.1} ns/iter  ({} iters)", self.iters);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the subset's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finish the group (no-op; groups report eagerly).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,601 @@
+//! Offline subset of the `proptest` 1.x API.
+//!
+//! Implements the strategy combinators, macros, and runner surface this
+//! workspace uses. Case generation is fully deterministic: every test derives
+//! its RNG stream from a hash of its module path and name, so failures
+//! reproduce exactly across runs and machines. Differences from upstream:
+//! no shrinking (failures report the full generated input instead) and no
+//! persistence of regression seeds.
+
+#![deny(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic runner: RNG, config, and case errors.
+
+    /// Splitmix64-based RNG driving all strategy generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Create a generator from a raw seed.
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Next raw 64-bit value (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Fair coin flip.
+        pub fn flip(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// Runner configuration (subset of upstream's fields).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+        /// Total rejection budget (`prop_assume!`) per test.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config requiring `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case's inputs were rejected by `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected input.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `body` on `config.cases` generated inputs. Panics on the first
+    /// failing case, printing the generated input (no shrinking).
+    pub fn execute<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, body: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(test_name.as_bytes());
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        let mut sequence = 0u64;
+        while case < config.cases {
+            let mut rng = TestRng::new(base ^ sequence.wrapping_mul(0xA076_1D64_78BD_642F));
+            sequence += 1;
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            match body(value) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest {test_name}: exceeded {} rejected inputs",
+                            config.max_global_rejects
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {test_name}: case #{case} failed: {msg}\n\
+                         input: {shown}\n\
+                         (deterministic: rerun reproduces this case)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Strategies: value generators composable with `prop_map`.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy, as produced by [`Strategy::boxed`].
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among equally-weighted alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the given alternatives (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs alternatives");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    // Include the upper endpoint with small probability so
+                    // `..=` differs observably from `..`.
+                    if rng.next_u64() % 4096 == 0 {
+                        hi
+                    } else {
+                        lo + (rng.next_f64() as $t) * (hi - lo)
+                    }
+                }
+            }
+        )*};
+    }
+    float_strategy!(f64, f32);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`] (half-open).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.lo < size.hi, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + rng.below(span.max(1));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value sets.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from `values` (must be non-empty).
+    pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from empty set");
+        Select { values }
+    }
+
+    /// See [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len())].clone()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `Some(inner)` three times out of four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! Canonical strategies per type (`any::<T>()`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one canonical value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.flip()
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary_value(rng)
+        }
+    }
+
+    /// Canonical strategy constructor, e.g. `any::<bool>()`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+/// Everything a proptest-based test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest};
+
+    /// Module-style access (`prop::collection::vec`, `prop::sample::select`).
+    pub use crate as prop;
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { ... }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::execute(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                &strategy,
+                |($($pat,)+)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Compose named strategies: `prop_compose! { fn name()(x in s, ...) -> T { expr } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])*
+     $vis:vis fn $name:ident($($outer:tt)*)
+        ($($pat:pat in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($pat,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert within a proptest body; failure reports the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,157 @@
+//! Offline subset of `rand_chacha` 0.3: `ChaCha8Rng` / `ChaCha12Rng` /
+//! `ChaCha20Rng` built on the real ChaCha keystream (RFC 8439 block function
+//! with a 64-bit block counter, as upstream uses). Word output order matches
+//! upstream: the keystream is consumed as little-endian `u32` words in block
+//! order, and `next_u64` combines two consecutive words (low first).
+
+#![deny(unsafe_code)]
+
+pub use rand_core;
+use rand_core::{impls, RngCore, SeedableRng};
+
+#[derive(Clone, Debug)]
+struct ChaChaCore<const ROUNDS: usize> {
+    /// Key words (state[4..12]).
+    key: [u32; 8],
+    /// 64-bit block counter (state[12..14]).
+    counter: u64,
+    /// Stream / nonce words (state[14..16]).
+    stream: [u32; 2],
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        Self { key, counter: 0, stream: [0, 0] }
+    }
+
+    /// Generate the next 16-word keystream block and advance the counter.
+    fn block(&mut self) -> [u32; 16] {
+        const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream[0];
+        state[15] = self.stream[1];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(initial.iter()) {
+            *s = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        state
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            core: ChaChaCore<$rounds>,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self { core: ChaChaCore::from_seed(seed), buffer: [0; 16], index: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.buffer = self.core.block();
+                    self.index = 0;
+                }
+                let w = self.buffer[self.index];
+                self.index += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                impls::next_u64_via_u32(self)
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                impls::fill_bytes_via_next(self, dest)
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds (fast, simulation-grade).");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds (rand's StdRng core).");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds (full-strength).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_rfc8439_block() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut core: ChaChaCore<20> = ChaChaCore::from_seed(seed);
+        // rand_chacha packs a 64-bit counter in words 12..14; the RFC vector
+        // uses counter=1 in word 12 and the nonce split across 13..16. Emulate
+        // by setting counter low word via the 64-bit counter and the remaining
+        // nonce words through `stream`.
+        core.counter = 1 | ((0x0900_0000u64) << 32);
+        core.stream = [0x4a00_0000, 0x0000_0000];
+        let block = core.block();
+        assert_eq!(block[0], 0xe4e7_f110);
+        assert_eq!(block[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = ChaCha8Rng::seed_from_u64(2005);
+        let mut b = ChaCha8Rng::seed_from_u64(2005);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(2006);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

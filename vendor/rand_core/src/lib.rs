@@ -1,0 +1,83 @@
+//! Offline, dependency-free subset of the `rand_core` 0.6 API.
+//!
+//! This workspace vendors the handful of trait definitions it relies on so
+//! that builds never touch a registry. The algorithms that matter for
+//! determinism (ChaCha, SplitMix64 seeding) follow the published upstream
+//! semantics bit-for-bit; anything the workspace does not use is omitted.
+
+#![deny(unsafe_code)]
+
+/// The core of a random number generator: a source of random 32/64-bit words.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically `[u8; N]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Create a new instance from the given seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Create a new instance seeded from a `u64`, expanding the state with
+    /// SplitMix64 exactly as upstream `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion (identical to rand_core 0.6).
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z = z ^ (z >> 31);
+            let bytes = (z as u32).to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Helpers mirroring `rand_core::impls` used by block-based generators.
+pub mod impls {
+    use super::RngCore;
+
+    /// Implement `next_u64` from two `next_u32` calls, low word first.
+    pub fn next_u64_via_u32<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        let lo = rng.next_u32() as u64;
+        let hi = rng.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Implement `fill_bytes` from repeated `next_u32` calls (little-endian).
+    pub fn fill_bytes_via_next<R: RngCore + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&rng.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = rng.next_u32().to_le_bytes();
+            let len = rem.len();
+            rem.copy_from_slice(&bytes[..len]);
+        }
+    }
+}

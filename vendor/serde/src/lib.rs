@@ -1,0 +1,27 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! The workspace only uses serde derives as annotations (the JSON it emits
+//! goes through the vendored `serde_json::json!`, which is `Display`-based),
+//! so `Serialize`/`Deserialize` are blanket-implemented marker traits and the
+//! derive macros are accepted but generate nothing.
+
+#![deny(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` with the owned-deserialization marker.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,156 @@
+//! Offline subset of `serde_json`: a [`Value`] tree, the [`json!`] macro for
+//! flat literals, and JSON-escaped `Display` rendering. Covers the
+//! machine-readable row emission this workspace does; it is not a general
+//! serializer.
+
+#![deny(unsafe_code)]
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; stored as `f64` (integers round-trip exactly to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+        write!(f, "\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => write!(f, "\\\"")?,
+                '\\' => write!(f, "\\\\")?,
+                '\n' => write!(f, "\\n")?,
+                '\r' => write!(f, "\\r")?,
+                '\t' => write!(f, "\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::String(s) => Self::write_escaped(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    Self::write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+macro_rules! from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(v as f64) }
+        }
+    )*};
+}
+from_number!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Render a value as a JSON string (infallible in this subset).
+pub fn to_string<T: Into<Value>>(value: T) -> Result<String, fmt::Error> {
+    Ok(value.into().to_string())
+}
+
+/// Build a [`Value`] from a JSON-like literal. Supports `null`, scalars,
+/// arrays of expressions, and flat objects with literal keys.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_flat_object() {
+        let v = json!({ "figure": "E1", "x": 2.5, "uplinks": 42u64, "flag": true });
+        assert_eq!(v.to_string(), r#"{"figure":"E1","x":2.5,"uplinks":42,"flag":true}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = json!({ "msg": "a\"b\\c\n" });
+        assert_eq!(v.to_string(), r#"{"msg":"a\"b\\c\n"}"#);
+    }
+}
