@@ -1,0 +1,159 @@
+//! `scaling` — shard count × object count throughput sweep for the
+//! sharded batch engine.
+//!
+//! Unlike the figure benches this drives `ShardedServer` directly (no
+//! event queue, no channel model): each round re-positions a tenth of the
+//! objects and pushes the batch through
+//! [`ShardedServer::handle_sequenced_updates_parallel`], which fans the
+//! per-shard work out over rayon. Reported metric: sustained update-batch
+//! throughput in updates/sec per (shards, N) cell.
+//!
+//! Rows also land in `BENCH_scaling.json` at the repo root for tooling.
+//! Thread count follows `SRB_THREADS` (see `srb_core::configured_threads`);
+//! on a single hardware thread the parallel path degenerates to the
+//! sequential loop, so speedups only show on multi-core runners.
+
+use srb_bench::{figure_header, full_scale};
+use srb_core::{
+    configured_threads, FnProvider, ObjectId, SequencedUpdate, ServerConfig, ShardedServer,
+};
+use srb_geom::Point;
+use srb_sim::{generate_workload, SimConfig};
+use std::time::Instant;
+
+/// Rounds of batched updates timed per cell.
+const ROUNDS: u64 = 20;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic position in the unit square from a (seed, object, round)
+/// triple — cheap stand-in for a mobility model at bench scale.
+fn pos_of(seed: u64, obj: u64, round: u64) -> Point {
+    let h = splitmix64(seed ^ obj.wrapping_mul(0x9E37_79B9) ^ (round << 40));
+    let x = (h >> 32) as f64 / u32::MAX as f64;
+    let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
+    Point::new(x.clamp(0.0, 1.0), y.clamp(0.0, 1.0))
+}
+
+struct Cell {
+    threads: usize,
+    updates: u64,
+    seconds: f64,
+}
+
+impl Cell {
+    fn throughput(&self) -> f64 {
+        self.updates as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Builds a populated server, then times `ROUNDS` update batches of N/10
+/// re-positioned objects through the parallel batch path.
+fn run_cell(shards: usize, n_objects: usize, sim: &SimConfig) -> Cell {
+    let server_cfg = ServerConfig {
+        space: sim.space,
+        grid_m: sim.grid_m,
+        max_speed: Some(sim.mean_speed * 4.0),
+        ..ServerConfig::default()
+    };
+    let mut server = ShardedServer::new(server_cfg, shards);
+
+    let seed = sim.seed;
+    let mut positions: Vec<Point> = (0..n_objects).map(|i| pos_of(seed, i as u64, 0)).collect();
+    {
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        for (i, &p) in snapshot.iter().enumerate() {
+            server
+                .add_object(ObjectId(i as u32), p, &mut provider, 0.0)
+                .expect("fresh object ids are unique");
+        }
+        let specs = generate_workload(&SimConfig { n_objects, ..*sim });
+        for spec in specs {
+            server.register_query(spec, &mut provider, 0.0);
+        }
+    }
+
+    let mut updates = 0u64;
+    let mut seconds = 0.0f64;
+    for round in 1..=ROUNDS {
+        // A rotating tenth of the fleet moves and reports; everyone else
+        // stays inside their safe region.
+        let movers: Vec<ObjectId> = (0..n_objects)
+            .filter(|i| (*i as u64) % 10 == round % 10)
+            .map(|i| ObjectId(i as u32))
+            .collect();
+        for &id in &movers {
+            positions[id.index()] = pos_of(seed, id.0 as u64, round);
+        }
+        let batch: Vec<SequencedUpdate> = movers
+            .iter()
+            .map(|&id| SequencedUpdate { id, pos: positions[id.index()], seq: round })
+            .collect();
+        let provider = |id: ObjectId| positions[id.index()];
+        let now = round as f64 * 0.1;
+        let t0 = Instant::now();
+        let responses = server.handle_sequenced_updates_parallel(&batch, &provider, now);
+        seconds += t0.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), batch.len(), "every mover gets a response");
+        updates += batch.len() as u64;
+    }
+    server.check_invariants();
+    Cell { threads: configured_threads(), updates, seconds }
+}
+
+fn main() {
+    let sim = srb_bench::base_config();
+    figure_header("Scaling", "sharded batch-update throughput", &sim);
+    let (shard_counts, object_counts): (&[usize], &[usize]) = if full_scale() {
+        (&[1, 2, 4, 8], &[20_000, 100_000])
+    } else {
+        (&[1, 2, 4], &[2_000, 8_000])
+    };
+    println!(
+        "    threads={} (SRB_THREADS overrides), rounds={ROUNDS}, batch=N/10",
+        configured_threads()
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    for &n in object_counts {
+        let mut base_tput = 0.0f64;
+        for &s in shard_counts {
+            let cell = run_cell(s, n, &sim);
+            if s == 1 {
+                base_tput = cell.throughput();
+            }
+            let speedup = cell.throughput() / base_tput.max(1e-12);
+            println!(
+                "N={:>7} shards={:<2} throughput={:>12.0} upd/s  speedup_vs_1={:>6.2}x  ({} updates in {:.3}s)",
+                n, s, cell.throughput(), speedup, cell.updates, cell.seconds
+            );
+            let line = serde_json::json!({
+                "figure": "scaling",
+                "series": format!("shards={s}"),
+                "shards": s as u64,
+                "n_objects": n as u64,
+                "threads": cell.threads as u64,
+                "updates": cell.updates,
+                "seconds": cell.seconds,
+                "updates_per_sec": cell.throughput(),
+                "speedup_vs_1_shard": speedup,
+            });
+            println!("JSON {line}");
+            rows.push(line.to_string());
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    let body = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    match std::fs::write(path, body) {
+        Ok(()) => println!("\nwrote {}", path),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

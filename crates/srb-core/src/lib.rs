@@ -50,19 +50,27 @@ mod error;
 mod eval;
 mod grid;
 mod ids;
+mod index;
+mod location;
 mod object;
+mod processor;
 mod provider;
 mod query;
 mod reeval;
 mod safe_region;
 mod server;
+mod sharded;
 
 pub use bounds::LocBound;
 pub use config::ServerConfig;
 pub use error::ServerError;
 pub use grid::{Cell, GridIndex};
 pub use ids::{ObjectId, QueryId};
+pub use index::ObjectIndex;
+pub use location::LocationManager;
 pub use object::{ObjectState, ObjectTable};
+pub use processor::QueryProcessor;
 pub use provider::{CostModel, CostTracker, FnProvider, LocationProvider, NoProbe, WorkStats};
 pub use query::{Quarantine, QuerySpec, QueryState, ResultChange};
 pub use server::{RegisterResponse, ResultRemoval, SequencedUpdate, Server, UpdateResponse};
+pub use sharded::{configured_threads, ShardedServer, SyncProvider};

@@ -1,0 +1,239 @@
+//! The location manager layer (paper §3.1, Figure 3.1 box "location
+//! manager").
+//!
+//! Owns safe-region computation (§5), safe-region leases, and the deferred
+//! probe queue that keeps the reachability enhancement (§6.1) sound over
+//! time. The manager mutates the [`ObjectIndex`] when it installs fresh
+//! regions and reads the [`QueryProcessor`] for the constraints, but owns
+//! neither — the `Server` façade wires the layers together per operation.
+
+use crate::config::ServerConfig;
+use crate::eval::EvalCtx;
+use crate::ids::ObjectId;
+use crate::index::ObjectIndex;
+use crate::object::ObjectTable;
+use crate::processor::QueryProcessor;
+use crate::provider::{CostTracker, LocationProvider, WorkStats};
+use crate::safe_region::compute_safe_region;
+use srb_geom::{Point, Rect};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Why a deferred timer entry exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeferKind {
+    /// Reachability-circle slack expiry (§6.1 soundness restoration).
+    Slack,
+    /// Safe-region lease expiry: the object has not been heard from for a
+    /// full lease period — probe it in case its exit report was lost.
+    Lease,
+}
+
+/// A scheduled deferred probe (see DESIGN.md): `epoch` is the object's
+/// last-report timestamp at scheduling time — the entry is stale (and
+/// silently dropped) if the object has reported or been probed since.
+/// Lease renewals ride the same staleness rule: any contact bumps `t_lst`,
+/// invalidating the old lease entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Deferred {
+    pub due: f64,
+    pub oid: ObjectId,
+    pub epoch: f64,
+    pub kind: DeferKind,
+}
+
+impl PartialEq for Deferred {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for Deferred {}
+impl PartialOrd for Deferred {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deferred {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due.total_cmp(&other.due)
+    }
+}
+
+/// The location manager: safe-region computation, leases, and the deferred
+/// probe queue.
+#[derive(Default)]
+pub struct LocationManager {
+    deferred: BinaryHeap<Reverse<Deferred>>,
+}
+
+impl LocationManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves evaluation-time deferral requests into the timer queue.
+    /// Requests for objects that ended up exactly known in this operation
+    /// are dropped — their safe regions were just recomputed.
+    pub(crate) fn absorb_deferred(
+        &mut self,
+        scratch: &mut Vec<(ObjectId, f64)>,
+        exact: &HashMap<ObjectId, Point>,
+        objects: &ObjectTable,
+    ) {
+        for (oid, due) in scratch.drain(..) {
+            if exact.contains_key(&oid) {
+                continue;
+            }
+            let Some(st) = objects.get(oid) else { continue };
+            self.deferred.push(Reverse(Deferred {
+                due,
+                oid,
+                epoch: st.t_lst,
+                kind: DeferKind::Slack,
+            }));
+        }
+    }
+
+    /// The earliest pending deferred-probe time, if any. Stale entries are
+    /// discarded lazily.
+    pub(crate) fn next_due(&mut self, objects: &ObjectTable) -> Option<f64> {
+        while let Some(Reverse(d)) = self.deferred.peek() {
+            let fresh = objects.get(d.oid).map(|st| st.t_lst == d.epoch).unwrap_or(false);
+            if fresh {
+                return Some(d.due);
+            }
+            self.deferred.pop();
+        }
+        None
+    }
+
+    /// Pops the next fresh entry due at or before `now`, if any.
+    pub(crate) fn pop_due(&mut self, objects: &ObjectTable, now: f64) -> Option<Deferred> {
+        let due = self.next_due(objects)?;
+        if due > now + 1e-12 {
+            return None;
+        }
+        self.deferred.pop().map(|Reverse(d)| d)
+    }
+
+    /// Recomputes and installs safe regions for every exactly-known object
+    /// of the current server operation (Algorithm 1, lines 14-15), and
+    /// schedules a lease-expiry probe per region when leases are enabled.
+    /// Returns the new regions.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn recompute_safe_regions(
+        &mut self,
+        config: &ServerConfig,
+        index: &mut ObjectIndex,
+        processor: &QueryProcessor,
+        costs: &mut CostTracker,
+        work: &mut WorkStats,
+        exact: &mut HashMap<ObjectId, Point>,
+        scratch: &mut Vec<(ObjectId, f64)>,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, Rect)> {
+        let mut out: Vec<(ObjectId, Rect)> = Vec::with_capacity(exact.len());
+        // Worklist in deterministic (id) order. Recomputing one object's
+        // ring can probe a conflicting neighbor (see
+        // `safe_region::neighbor_bound`), which inserts it into `exact` —
+        // the loop picks it up until fixpoint. Objects already recomputed
+        // leave the invalid set, so later ring bounds use their fresh safe
+        // regions.
+        while let Some(oid) =
+            exact.keys().copied().filter(|o| !out.iter().any(|(done, _)| done == o)).min()
+        {
+            let pos = exact.remove(&oid).expect("picked from map");
+            let p_lst = index.get(oid).map(|s| s.p_lst).unwrap_or(pos);
+            let sr = {
+                let mut ctx = EvalCtx {
+                    tree: index.tree(),
+                    objects: index.objects(),
+                    exact,
+                    provider,
+                    costs,
+                    work,
+                    deferred: scratch,
+                    max_speed: config.max_speed,
+                    now,
+                };
+                compute_safe_region(
+                    &mut ctx,
+                    processor.grid(),
+                    processor.slots(),
+                    oid,
+                    pos,
+                    p_lst,
+                    config.steadiness,
+                )
+            };
+            work.safe_regions += 1;
+            index.install_region(oid, pos, sr, now);
+            if let Some(lease) = config.lease {
+                if lease > 0.0 {
+                    // Renewal-on-contact is implicit: this entry's epoch is
+                    // the fresh `t_lst`, so any later contact (which bumps
+                    // `t_lst`) invalidates it via the staleness rule.
+                    self.deferred.push(Reverse(Deferred {
+                        due: now + lease,
+                        oid,
+                        epoch: now,
+                        kind: DeferKind::Lease,
+                    }));
+                }
+            }
+            out.push((oid, sr));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectState;
+
+    fn table_with(oid: ObjectId, t_lst: f64) -> ObjectTable {
+        let mut t = ObjectTable::new();
+        let p = Point::new(0.5, 0.5);
+        t.set(oid, ObjectState { p_lst: p, t_lst, safe_region: Rect::point(p), last_seq: 0 });
+        t
+    }
+
+    #[test]
+    fn absorb_skips_exact_and_unknown_objects() {
+        let mut lm = LocationManager::new();
+        let objects = table_with(ObjectId(1), 0.0);
+        let mut exact = HashMap::new();
+        exact.insert(ObjectId(2), Point::new(0.1, 0.1));
+        let mut scratch = vec![(ObjectId(1), 5.0), (ObjectId(2), 1.0), (ObjectId(9), 2.0)];
+        lm.absorb_deferred(&mut scratch, &exact, &objects);
+        assert!(scratch.is_empty());
+        // Only the known, non-exact object survives.
+        assert_eq!(lm.next_due(&objects), Some(5.0));
+    }
+
+    #[test]
+    fn stale_entries_are_dropped_lazily() {
+        let mut lm = LocationManager::new();
+        let mut objects = table_with(ObjectId(3), 0.0);
+        lm.absorb_deferred(&mut vec![(ObjectId(3), 2.0)], &HashMap::new(), &objects);
+        assert_eq!(lm.next_due(&objects), Some(2.0));
+        // A later contact bumps t_lst and invalidates the entry.
+        objects.get_mut(ObjectId(3)).unwrap().t_lst = 1.0;
+        assert_eq!(lm.next_due(&objects), None);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut lm = LocationManager::new();
+        let objects = table_with(ObjectId(4), 0.0);
+        lm.absorb_deferred(&mut vec![(ObjectId(4), 3.0)], &HashMap::new(), &objects);
+        assert!(lm.pop_due(&objects, 2.9).is_none());
+        let d = lm.pop_due(&objects, 3.0).expect("due now");
+        assert_eq!(d.oid, ObjectId(4));
+        assert_eq!(d.kind, DeferKind::Slack);
+        assert!(lm.pop_due(&objects, 10.0).is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! The query processor layer (paper §3.1, Figure 3.1 box "query
+//! processor", plus the grid query index of §3.3 it drives).
+//!
+//! Owns the registered query states and the grid index over their
+//! quarantine areas, and drives evaluation (§4.1–§4.2) and incremental
+//! reevaluation (§4.3) of individual queries. Probes and cost accounting
+//! flow through the [`EvalCtx`] the caller supplies, so the processor
+//! itself stays free of communication concerns.
+
+use crate::eval::{evaluate_knn_ordered, evaluate_knn_unordered, evaluate_range, EvalCtx};
+use crate::grid::GridIndex;
+use crate::ids::{ObjectId, QueryId};
+use crate::query::{Quarantine, QuerySpec, QueryState};
+use crate::reeval::{reevaluate, reevaluate_multi};
+use srb_geom::{Circle, Point, Rect};
+use std::collections::HashMap;
+
+/// The query processor: registered query states plus the grid index that
+/// locates the queries a moving object can affect.
+pub struct QueryProcessor {
+    /// Slot-allocated query states (`None` = free slot, ids are reused).
+    queries: Vec<Option<QueryState>>,
+    grid: GridIndex,
+}
+
+impl QueryProcessor {
+    /// Creates an empty processor over `space` with an `m x m` grid.
+    pub fn new(space: Rect, m: usize) -> Self {
+        QueryProcessor { queries: Vec::new(), grid: GridIndex::new(space, m) }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The grid query index.
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// The raw query slots — the shape safe-region computation consumes.
+    pub fn slots(&self) -> &[Option<QueryState>] {
+        &self.queries
+    }
+
+    /// Number of registered queries.
+    pub fn count(&self) -> usize {
+        self.queries.iter().filter(|q| q.is_some()).count()
+    }
+
+    /// Iterates over the registered query ids.
+    pub fn ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries.iter().enumerate().filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+    }
+
+    /// The state of one query.
+    pub fn get(&self, id: QueryId) -> Option<&QueryState> {
+        self.queries.get(id.index()).and_then(|q| q.as_ref())
+    }
+
+    /// Mutable state access. The grid is not adjusted — callers changing
+    /// the quarantine must re-register via [`grid_update`](Self::grid_update).
+    pub fn get_mut(&mut self, id: QueryId) -> Option<&mut QueryState> {
+        self.queries.get_mut(id.index()).and_then(|q| q.as_mut())
+    }
+
+    /// Total grid bucket entries (§7.3 footprint metric).
+    pub fn grid_footprint(&self) -> usize {
+        self.grid.bucket_entries()
+    }
+
+    // ------------------------------------------------------------------
+    // Registration lifecycle
+    // ------------------------------------------------------------------
+
+    /// Allocates the lowest free query id.
+    pub fn alloc_id(&mut self) -> QueryId {
+        for (i, slot) in self.queries.iter().enumerate() {
+            if slot.is_none() {
+                return QueryId(i as u32);
+            }
+        }
+        self.queries.push(None);
+        QueryId((self.queries.len() - 1) as u32)
+    }
+
+    /// Installs a query state under a previously allocated id and registers
+    /// its quarantine in the grid.
+    pub fn install(&mut self, id: QueryId, qs: QueryState) {
+        self.grid.insert(id, &qs.quarantine.bbox());
+        self.queries[id.index()] = Some(qs);
+    }
+
+    /// Deregisters a query, clearing its grid buckets. Returns `false` for
+    /// unknown ids.
+    pub fn remove(&mut self, id: QueryId) -> bool {
+        let Some(slot) = self.queries.get_mut(id.index()) else {
+            return false;
+        };
+        let Some(qs) = slot.take() else { return false };
+        self.grid.remove(id, &qs.quarantine.bbox());
+        true
+    }
+
+    /// Re-registers a query whose quarantine bounding box changed.
+    pub fn grid_update(&mut self, id: QueryId, old_bbox: &Rect, new_bbox: &Rect) {
+        self.grid.update(id, old_bbox, new_bbox);
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation / reevaluation (§4)
+    // ------------------------------------------------------------------
+
+    /// The affected-query candidates of a move from `p_lst` to `pos`: the
+    /// buckets of the new and old cells, deduplicated in that order.
+    pub fn candidates(&self, pos: Point, p_lst: Point) -> Vec<QueryId> {
+        let mut candidates: Vec<QueryId> = self.grid.queries_at(pos).to_vec();
+        for &q in self.grid.queries_at(p_lst) {
+            if !candidates.contains(&q) {
+                candidates.push(q);
+            }
+        }
+        candidates
+    }
+
+    /// Evaluates a brand-new query from scratch (§4.1–§4.2), returning its
+    /// initial results and quarantine area. Nothing is registered yet.
+    pub(crate) fn evaluate_new(
+        &self,
+        ctx: &mut EvalCtx<'_>,
+        spec: QuerySpec,
+        space: &Rect,
+    ) -> (Vec<ObjectId>, Quarantine) {
+        match spec {
+            QuerySpec::Range { rect } => (evaluate_range(ctx, &rect), Quarantine::Rect(rect)),
+            QuerySpec::Knn { center, k, order_sensitive } => {
+                let eval = if order_sensitive {
+                    evaluate_knn_ordered(ctx, center, k, space, &[])
+                } else {
+                    evaluate_knn_unordered(ctx, center, k, space, &[])
+                };
+                (eval.results, Quarantine::Circle(Circle::new(center, eval.radius)))
+            }
+        }
+    }
+
+    /// Incrementally reevaluates `qid` after `oid` moved from `p_lst` to
+    /// `pos` (§4.3), updating the grid when the quarantine changed. Returns
+    /// the new result set when it changed, `None` otherwise (including for
+    /// unknown ids).
+    pub(crate) fn reevaluate_single(
+        &mut self,
+        ctx: &mut EvalCtx<'_>,
+        qid: QueryId,
+        oid: ObjectId,
+        pos: Point,
+        p_lst: Point,
+        space: &Rect,
+    ) -> Option<Vec<ObjectId>> {
+        let mut qs = self.queries.get_mut(qid.index())?.take()?;
+        let old_bbox = qs.quarantine.bbox();
+        let outcome = reevaluate(ctx, &mut qs, oid, pos, p_lst, space);
+        if outcome.quarantine_changed {
+            self.grid.update(qid, &old_bbox, &qs.quarantine.bbox());
+        }
+        let changed = outcome.results_changed.then(|| qs.results.clone());
+        self.queries[qid.index()] = Some(qs);
+        changed
+    }
+
+    /// Reevaluates `qid` for a batch of simultaneous movers: incrementally
+    /// when a single mover affects it, from scratch when several do. All
+    /// movers' exact positions must already be in `ctx.exact`; `prev` holds
+    /// their previous anchors.
+    pub(crate) fn reevaluate_batch(
+        &mut self,
+        ctx: &mut EvalCtx<'_>,
+        qid: QueryId,
+        movers: &[ObjectId],
+        prev: &HashMap<ObjectId, Point>,
+        space: &Rect,
+    ) -> Option<Vec<ObjectId>> {
+        if movers.len() == 1 {
+            let id = movers[0];
+            let pos = *ctx.exact.get(&id).expect("mover is exact");
+            return self.reevaluate_single(ctx, qid, id, pos, prev[&id], space);
+        }
+        let mut qs = self.queries.get_mut(qid.index())?.take()?;
+        let old_bbox = qs.quarantine.bbox();
+        let outcome = reevaluate_multi(ctx, &mut qs, movers, prev, space);
+        if outcome.quarantine_changed {
+            self.grid.update(qid, &old_bbox, &qs.quarantine.bbox());
+        }
+        let changed = outcome.results_changed.then(|| qs.results.clone());
+        self.queries[qid.index()] = Some(qs);
+        changed
+    }
+
+    /// Re-runs a kNN query from scratch and installs the fresh results and
+    /// quarantine (used when object churn invalidates the incremental
+    /// cases). No-op for range queries and unknown ids.
+    pub(crate) fn refold_knn(&mut self, ctx: &mut EvalCtx<'_>, qid: QueryId, space: &Rect) {
+        let Some(mut qs) = self.queries.get_mut(qid.index()).and_then(Option::take) else {
+            return;
+        };
+        if let QuerySpec::Knn { center, k, order_sensitive } = qs.spec {
+            let eval = if order_sensitive {
+                evaluate_knn_ordered(ctx, center, k, space, &[])
+            } else {
+                evaluate_knn_unordered(ctx, center, k, space, &[])
+            };
+            qs.results = eval.results;
+            let old = qs.quarantine.bbox();
+            qs.quarantine = Quarantine::Circle(Circle::new(center, eval.radius));
+            self.grid.update(qid, &old, &qs.quarantine.bbox());
+        }
+        self.queries[qid.index()] = Some(qs);
+    }
+
+    /// Deep consistency check: kNN result lists never exceed `k`.
+    pub fn check_result_sizes(&self) {
+        for qs in self.queries.iter().flatten() {
+            if let QuerySpec::Knn { k, .. } = qs.spec {
+                assert!(qs.results.len() <= k, "kNN result overflow");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(rect: Rect) -> QueryState {
+        QueryState {
+            spec: QuerySpec::range(rect),
+            results: Vec::new(),
+            quarantine: Quarantine::Rect(rect),
+        }
+    }
+
+    #[test]
+    fn alloc_reuses_freed_slots() {
+        let mut p = QueryProcessor::new(Rect::UNIT, 4);
+        let r = Rect::new(Point::new(0.1, 0.1), Point::new(0.2, 0.2));
+        let a = p.alloc_id();
+        p.install(a, state(r));
+        let b = p.alloc_id();
+        p.install(b, state(r));
+        assert_eq!((a.0, b.0), (0, 1));
+        assert!(p.remove(a));
+        assert!(!p.remove(a), "double deregistration is a no-op");
+        let c = p.alloc_id();
+        assert_eq!(c, a, "freed slot is reused first");
+        p.install(c, state(r));
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.ids().count(), 2);
+    }
+
+    #[test]
+    fn install_registers_quarantine_in_grid() {
+        let mut p = QueryProcessor::new(Rect::UNIT, 10);
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(0.15, 0.15));
+        let id = p.alloc_id();
+        p.install(id, state(r));
+        assert!(p.grid().queries_at(Point::new(0.05, 0.05)).contains(&id));
+        assert!(p.grid_footprint() > 0);
+        p.remove(id);
+        assert_eq!(p.grid_footprint(), 0);
+    }
+
+    #[test]
+    fn candidates_union_old_and_new_cells() {
+        let mut p = QueryProcessor::new(Rect::UNIT, 10);
+        let near_origin = Rect::new(Point::new(0.0, 0.0), Point::new(0.05, 0.05));
+        let far_corner = Rect::new(Point::new(0.9, 0.9), Point::new(0.95, 0.95));
+        let a = p.alloc_id();
+        p.install(a, state(near_origin));
+        let b = p.alloc_id();
+        p.install(b, state(far_corner));
+        let c = p.candidates(Point::new(0.92, 0.92), Point::new(0.02, 0.02));
+        assert!(c.contains(&a) && c.contains(&b));
+        // Same cell twice: no duplicates.
+        let c = p.candidates(Point::new(0.01, 0.01), Point::new(0.02, 0.02));
+        assert_eq!(c, vec![a]);
+    }
+}

@@ -72,6 +72,13 @@ impl CostTracker {
             probes: self.probes - earlier.probes,
         }
     }
+
+    /// Adds another tracker's totals into this one — used to aggregate
+    /// per-shard trackers into a fleet-wide view.
+    pub fn merge(&mut self, other: &CostTracker) {
+        self.source_updates += other.source_updates;
+        self.probes += other.probes;
+    }
 }
 
 /// Deterministic work counters for the scalability experiments (§7.3): the
@@ -111,6 +118,26 @@ pub struct WorkStats {
     /// Current safe regions re-sent in response to duplicate updates — the
     /// ACK-retransmission path of a lossy downlink.
     pub regrants: u64,
+}
+
+impl WorkStats {
+    /// Adds another set of counters into this one — used to aggregate
+    /// per-shard stats into a fleet-wide view.
+    pub fn merge(&mut self, other: &WorkStats) {
+        self.evaluations += other.evaluations;
+        self.safe_regions += other.safe_regions;
+        self.probes_avoided += other.probes_avoided;
+        self.ordering_fallbacks += other.ordering_fallbacks;
+        self.probes_range += other.probes_range;
+        self.probes_knn_eval += other.probes_knn_eval;
+        self.probes_radius += other.probes_radius;
+        self.probes_reeval += other.probes_reeval;
+        self.probes_neighbor += other.probes_neighbor;
+        self.stale_seq_drops += other.stale_seq_drops;
+        self.unknown_object_drops += other.unknown_object_drops;
+        self.lease_probes += other.lease_probes;
+        self.regrants += other.regrants;
+    }
 }
 
 #[cfg(test)]

@@ -1,26 +1,26 @@
-//! The database server (paper §3.1, Algorithm 1).
+//! The database server façade (paper §3.1, Algorithm 1).
 //!
-//! The server owns the four components of Figure 3.1: the object index (an
-//! R\*-tree over safe regions), the in-memory grid query index, the query
-//! processor (evaluation §4.1–§4.2 / reevaluation §4.3), and the location
-//! manager (safe-region computation §5). All communication costs flow
+//! The server wires together the four components of Figure 3.1, each an
+//! explicit, separately-testable layer: the [`ObjectIndex`] (an R\*-tree
+//! over safe regions plus the object state table), the grid query index
+//! (owned by the [`QueryProcessor`] together with evaluation §4.1–§4.2 and
+//! reevaluation §4.3), and the [`LocationManager`] (safe-region computation
+//! §5, leases, and the deferred probe queue). All communication costs flow
 //! through [`CostTracker`] and all exact locations through the
-//! [`LocationProvider`] the caller supplies.
+//! [`LocationProvider`] the caller supplies; the façade only orchestrates.
 
 use crate::config::ServerConfig;
 use crate::error::ServerError;
-use crate::eval::{evaluate_knn_ordered, evaluate_knn_unordered, evaluate_range, EvalCtx};
-use crate::grid::GridIndex;
+use crate::eval::EvalCtx;
 use crate::ids::{ObjectId, QueryId};
-use crate::object::{ObjectState, ObjectTable};
+use crate::index::ObjectIndex;
+use crate::location::{DeferKind, LocationManager};
+use crate::object::ObjectState;
+use crate::processor::QueryProcessor;
 use crate::provider::{CostTracker, LocationProvider, WorkStats};
 use crate::query::{Quarantine, QuerySpec, QueryState, ResultChange};
-use crate::reeval::reevaluate;
-use crate::safe_region::compute_safe_region;
-use srb_geom::{Circle, Point, Rect};
-use srb_index::RStarTree;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use srb_geom::{Point, Rect};
+use std::collections::HashMap;
 
 /// Response to a query registration: the id, the initial results, and the
 /// updated safe regions of every object probed during evaluation (step 5 of
@@ -63,69 +63,25 @@ pub struct SequencedUpdate {
     pub seq: u64,
 }
 
-/// Why a deferred timer entry exists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DeferKind {
-    /// Reachability-circle slack expiry (§6.1 soundness restoration).
-    Slack,
-    /// Safe-region lease expiry: the object has not been heard from for a
-    /// full lease period — probe it in case its exit report was lost.
-    Lease,
-}
-
-/// A scheduled deferred probe (see DESIGN.md): `epoch` is the object's
-/// last-report timestamp at scheduling time — the entry is stale (and
-/// silently dropped) if the object has reported or been probed since.
-/// Lease renewals ride the same staleness rule: any contact bumps `t_lst`,
-/// invalidating the old lease entry.
-#[derive(Debug, Clone, Copy)]
-struct Deferred {
-    due: f64,
-    oid: ObjectId,
-    epoch: f64,
-    kind: DeferKind,
-}
-
-impl PartialEq for Deferred {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due
-    }
-}
-impl Eq for Deferred {}
-impl PartialOrd for Deferred {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Deferred {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.due.total_cmp(&other.due)
-    }
-}
-
-/// The SRB database server.
+/// The SRB database server: a thin façade over the Figure-3.1 layers.
 pub struct Server {
     config: ServerConfig,
-    tree: RStarTree,
-    objects: ObjectTable,
-    queries: Vec<Option<QueryState>>,
-    grid: GridIndex,
+    index: ObjectIndex,
+    processor: QueryProcessor,
+    location: LocationManager,
     costs: CostTracker,
     work: WorkStats,
-    deferred: BinaryHeap<Reverse<Deferred>>,
 }
 
 impl Server {
     /// Creates a server with the given configuration.
     pub fn new(config: ServerConfig) -> Self {
         Server {
-            tree: RStarTree::new(config.tree),
-            objects: ObjectTable::new(),
-            queries: Vec::new(),
-            grid: GridIndex::new(config.space, config.grid_m),
+            index: ObjectIndex::new(config.tree),
+            processor: QueryProcessor::new(config.space, config.grid_m),
+            location: LocationManager::new(),
             costs: CostTracker::default(),
             work: WorkStats::default(),
-            deferred: BinaryHeap::new(),
             config,
         }
     }
@@ -144,34 +100,51 @@ impl Server {
         &self.config
     }
 
+    /// The object index layer (Figure 3.1 "object index").
+    pub fn object_index(&self) -> &ObjectIndex {
+        &self.index
+    }
+
+    /// The query processor layer (Figure 3.1 "query processor" plus the
+    /// §3.3 grid index).
+    pub fn query_processor(&self) -> &QueryProcessor {
+        &self.processor
+    }
+
     /// Number of registered moving objects.
     pub fn object_count(&self) -> usize {
-        self.objects.len()
+        self.index.len()
     }
 
     /// Number of registered queries.
     pub fn query_count(&self) -> usize {
-        self.queries.iter().filter(|q| q.is_some()).count()
+        self.processor.count()
     }
 
     /// The current result set of a query.
     pub fn results(&self, id: QueryId) -> Option<&[ObjectId]> {
-        self.queries.get(id.index()).and_then(|q| q.as_ref()).map(|q| q.results.as_slice())
+        self.processor.get(id).map(|q| q.results.as_slice())
     }
 
     /// The current quarantine area of a query.
     pub fn quarantine(&self, id: QueryId) -> Option<Quarantine> {
-        self.queries.get(id.index()).and_then(|q| q.as_ref()).map(|q| q.quarantine)
+        self.processor.get(id).map(|q| q.quarantine)
     }
 
     /// The safe region the server believes `id` is inside.
     pub fn safe_region(&self, id: ObjectId) -> Option<Rect> {
-        self.objects.get(id).map(|s| s.safe_region)
+        self.index.get(id).map(|s| s.safe_region)
     }
 
     /// The last exactly-known location of `id` and its timestamp.
     pub fn last_known(&self, id: ObjectId) -> Option<(Point, f64)> {
-        self.objects.get(id).map(|s| (s.p_lst, s.t_lst))
+        self.index.get(id).map(|s| (s.p_lst, s.t_lst))
+    }
+
+    /// The last accepted sequence number of `id` — the sharded coordinator
+    /// stamps convenience (unsequenced) updates with this.
+    pub(crate) fn last_seq(&self, id: ObjectId) -> Option<u64> {
+        self.index.get(id).map(|s| s.last_seq)
     }
 
     /// Accumulated communication events.
@@ -186,34 +159,37 @@ impl Server {
 
     /// Deterministic work units: object-index node visits.
     pub fn index_visits(&self) -> u64 {
-        self.tree.visits()
+        self.index.visits()
     }
 
     /// Size (bucket entries) of the grid query index — the footprint metric
     /// of §7.3.
     pub fn grid_footprint(&self) -> usize {
-        self.grid.bucket_entries()
+        self.processor.grid_footprint()
     }
 
     /// Iterates over the registered query ids.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.queries.iter().enumerate().filter_map(|(i, q)| q.as_ref().map(|_| QueryId(i as u32)))
+        self.processor.ids()
     }
 
-    /// Verifies internal consistency (tree invariants, state coherence).
-    /// For tests.
+    /// Verifies internal consistency. In release builds this is a cheap
+    /// structural check (O(1) count comparison) so tests can call it on hot
+    /// paths without distorting measurements; debug builds run the full
+    /// [`check_invariants_deep`](Self::check_invariants_deep) scan.
     pub fn check_invariants(&self) {
-        self.tree.check_invariants();
-        assert_eq!(self.tree.len(), self.objects.len());
-        for (oid, st) in self.objects.iter() {
-            let stored = self.tree.get(oid.entry()).expect("object in tree");
-            assert_eq!(stored, st.safe_region, "tree/state safe region mismatch for {oid}");
-        }
-        for qs in self.queries.iter().flatten() {
-            if let QuerySpec::Knn { k, .. } = qs.spec {
-                assert!(qs.results.len() <= k, "kNN result overflow");
-            }
-        }
+        self.index.check_counts();
+        #[cfg(debug_assertions)]
+        self.check_invariants_deep();
+    }
+
+    /// Full O(n·q) consistency scan: tree invariants, entry-by-entry
+    /// tree/state coherence, and per-query result-size bounds. Always
+    /// available (release included) for correctness-critical tests.
+    #[doc(hidden)]
+    pub fn check_invariants_deep(&self) {
+        self.index.check_coherence();
+        self.processor.check_result_sizes();
     }
 
     // ------------------------------------------------------------------
@@ -232,26 +208,23 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Result<Rect, ServerError> {
-        if self.objects.get(id).is_some() {
+        if self.index.get(id).is_some() {
             return Err(ServerError::DuplicateObject(id));
         }
-        self.tree.insert(id.entry(), Rect::point(pos));
-        self.objects.set(
+        self.index.insert(
             id,
             ObjectState { p_lst: pos, t_lst: now, safe_region: Rect::point(pos), last_seq: 0 },
         );
         // Fold into affected queries: any query whose quarantine contains
         // pos may gain the new object.
         let affected: Vec<QueryId> = self
-            .grid
+            .processor
+            .grid()
             .queries_at(pos)
             .iter()
             .copied()
             .filter(|&qid| {
-                self.queries[qid.index()]
-                    .as_ref()
-                    .map(|qs| qs.quarantine.contains(pos))
-                    .unwrap_or(false)
+                self.processor.get(qid).map(|qs| qs.quarantine.contains(pos)).unwrap_or(false)
             })
             .collect();
         let mut exact: HashMap<ObjectId, Point> = HashMap::new();
@@ -259,33 +232,30 @@ impl Server {
         exact.insert(id, pos);
         let space = self.config.space;
         for qid in affected {
-            let mut qs = self.queries[qid.index()].take().expect("query exists");
-            {
-                let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
-                match qs.spec {
-                    QuerySpec::Range { .. } => {
-                        if !qs.is_result(id) {
-                            qs.results.push(id);
-                        }
-                    }
-                    QuerySpec::Knn { center, k, order_sensitive } => {
-                        let eval = if order_sensitive {
-                            evaluate_knn_ordered(&mut ctx, center, k, &space, &[])
-                        } else {
-                            evaluate_knn_unordered(&mut ctx, center, k, &space, &[])
-                        };
-                        qs.results = eval.results;
-                        let old = qs.quarantine.bbox();
-                        qs.quarantine = Quarantine::Circle(Circle::new(center, eval.radius));
-                        self.grid.update(qid, &old, &qs.quarantine.bbox());
-                    }
+            let is_range =
+                matches!(self.processor.get(qid).map(|qs| qs.spec), Some(QuerySpec::Range { .. }));
+            if is_range {
+                let qs = self.processor.get_mut(qid).expect("query exists");
+                if !qs.is_result(id) {
+                    qs.results.push(id);
                 }
+            } else {
+                let mut ctx = ctx(
+                    &self.index,
+                    &mut self.costs,
+                    &mut self.work,
+                    &mut exact,
+                    &mut deferred,
+                    provider,
+                    self.config.max_speed,
+                    now,
+                );
+                self.processor.refold_knn(&mut ctx, qid, &space);
             }
-            self.queries[qid.index()] = Some(qs);
         }
         self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
-        self.absorb_deferred(&mut deferred, &exact);
-        Ok(self.objects.get(id).expect("just added").safe_region)
+        self.location.absorb_deferred(&mut deferred, &exact, self.index.objects());
+        Ok(self.index.get(id).expect("just added").safe_region)
     }
 
     /// Removes a moving object entirely (extension beyond the paper: object
@@ -296,38 +266,36 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Option<ResultRemoval> {
-        self.objects.get(id)?;
-        self.tree.remove(id.entry());
-        let st = self.objects.remove(id).expect("checked above");
+        let st = self.index.remove(id)?;
         let mut changes = Vec::new();
         let mut exact: HashMap<ObjectId, Point> = HashMap::new();
         let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
         let space = self.config.space;
-        for qid in self.query_ids().collect::<Vec<_>>() {
-            let mut qs = self.queries[qid.index()].take().expect("query exists");
-            if qs.is_result(id) {
-                qs.results.retain(|&o| o != id);
-                match qs.spec {
-                    QuerySpec::Range { .. } => {}
-                    QuerySpec::Knn { center, k, order_sensitive } => {
-                        let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
-                        let eval = if order_sensitive {
-                            evaluate_knn_ordered(&mut ctx, center, k, &space, &[])
-                        } else {
-                            evaluate_knn_unordered(&mut ctx, center, k, &space, &[])
-                        };
-                        qs.results = eval.results;
-                        let old = qs.quarantine.bbox();
-                        qs.quarantine = Quarantine::Circle(Circle::new(center, eval.radius));
-                        self.grid.update(qid, &old, &qs.quarantine.bbox());
-                    }
-                }
-                changes.push(ResultChange { query: qid, results: qs.results.clone() });
+        for qid in self.processor.ids().collect::<Vec<_>>() {
+            let holds = self.processor.get(qid).map(|qs| qs.is_result(id)).unwrap_or(false);
+            if !holds {
+                continue;
             }
-            self.queries[qid.index()] = Some(qs);
+            let qs = self.processor.get_mut(qid).expect("query exists");
+            qs.results.retain(|&o| o != id);
+            if matches!(qs.spec, QuerySpec::Knn { .. }) {
+                let mut ctx = ctx(
+                    &self.index,
+                    &mut self.costs,
+                    &mut self.work,
+                    &mut exact,
+                    &mut deferred,
+                    provider,
+                    self.config.max_speed,
+                    now,
+                );
+                self.processor.refold_knn(&mut ctx, qid, &space);
+            }
+            let results = self.processor.get(qid).expect("query exists").results.clone();
+            changes.push(ResultChange { query: qid, results });
         }
         let probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
-        self.absorb_deferred(&mut deferred, &exact);
+        self.location.absorb_deferred(&mut deferred, &exact, self.index.objects());
         Some(ResultRemoval { last_state: st, changes, probed })
     }
 
@@ -347,25 +315,20 @@ impl Server {
         let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
         let space = self.config.space;
         let (results, quarantine) = {
-            let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
-            match spec {
-                QuerySpec::Range { rect } => {
-                    (evaluate_range(&mut ctx, &rect), Quarantine::Rect(rect))
-                }
-                QuerySpec::Knn { center, k, order_sensitive } => {
-                    let eval = if order_sensitive {
-                        evaluate_knn_ordered(&mut ctx, center, k, &space, &[])
-                    } else {
-                        evaluate_knn_unordered(&mut ctx, center, k, &space, &[])
-                    };
-                    (eval.results, Quarantine::Circle(Circle::new(center, eval.radius)))
-                }
-            }
+            let mut ctx = ctx(
+                &self.index,
+                &mut self.costs,
+                &mut self.work,
+                &mut exact,
+                &mut deferred,
+                provider,
+                self.config.max_speed,
+                now,
+            );
+            self.processor.evaluate_new(&mut ctx, spec, &space)
         };
-        let id = self.alloc_query_id();
-        let qs = QueryState { spec, results: results.clone(), quarantine };
-        self.grid.insert(id, &qs.quarantine.bbox());
-        self.queries[id.index()] = Some(qs);
+        let id = self.processor.alloc_id();
+        self.processor.install(id, QueryState { spec, results: results.clone(), quarantine });
 
         // Only probed objects need to learn about the new query (§5, case
         // 1); their safe regions are recomputed against all constraints
@@ -374,19 +337,14 @@ impl Server {
         let safe_regions = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
         let exact_all: HashMap<ObjectId, Point> =
             safe_regions.iter().map(|&(o, _)| (o, Point::ORIGIN)).collect();
-        self.absorb_deferred(&mut deferred, &exact_all);
+        self.location.absorb_deferred(&mut deferred, &exact_all, self.index.objects());
         RegisterResponse { id, results, safe_regions }
     }
 
     /// Deregisters a query (Algorithm 1 lines 6-7). Safe regions are not
     /// eagerly enlarged; they regrow on the next update of each object.
     pub fn deregister_query(&mut self, id: QueryId) -> bool {
-        let Some(slot) = self.queries.get_mut(id.index()) else {
-            return false;
-        };
-        let Some(qs) = slot.take() else { return false };
-        self.grid.remove(id, &qs.quarantine.bbox());
-        true
+        self.processor.remove(id)
     }
 
     // ------------------------------------------------------------------
@@ -409,7 +367,7 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Result<UpdateResponse, ServerError> {
-        let st = self.objects.get_mut(id).ok_or(ServerError::UnknownObject(id))?;
+        let st = self.index.get_mut(id).ok_or(ServerError::UnknownObject(id))?;
         st.last_seq += 1;
         self.costs.source_updates += 1;
         Ok(self.process_report(id, pos, provider, now))
@@ -435,7 +393,7 @@ impl Server {
         let sequenced: Vec<SequencedUpdate> = updates
             .iter()
             .filter_map(|&(id, pos)| {
-                self.objects.get(id).map(|st| SequencedUpdate { id, pos, seq: st.last_seq + 1 })
+                self.index.get(id).map(|st| SequencedUpdate { id, pos, seq: st.last_seq + 1 })
             })
             .collect();
         self.work.unknown_object_drops += (updates.len() - sequenced.len()) as u64;
@@ -460,7 +418,7 @@ impl Server {
         let mut accepted: Vec<(ObjectId, Point)> = Vec::new();
         let mut regrant_ids: Vec<ObjectId> = Vec::new();
         for u in updates {
-            match self.objects.get_mut(u.id) {
+            match self.index.get_mut(u.id) {
                 None => self.work.unknown_object_drops += 1,
                 Some(st) if u.seq <= st.last_seq => {
                     self.work.stale_seq_drops += 1;
@@ -477,7 +435,7 @@ impl Server {
         // Re-grants are materialized *after* the batch is applied so they
         // carry the post-update safe region, never a stale one.
         for id in regrant_ids {
-            if let Some(st) = self.objects.get(id) {
+            if let Some(st) = self.index.get(id) {
                 responses.push((
                     id,
                     UpdateResponse {
@@ -511,9 +469,9 @@ impl Server {
         let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
         let mut prev: HashMap<ObjectId, Point> = HashMap::new();
         for &(id, pos) in updates {
-            let st = *self.objects.get(id).expect("batch ids are pre-checked");
+            let st = *self.index.get(id).expect("batch ids are pre-checked");
             prev.insert(id, st.p_lst);
-            self.tree.update(id.entry(), Rect::point(pos));
+            self.index.pin_to_point(id, pos);
             exact.insert(id, pos);
         }
 
@@ -521,13 +479,7 @@ impl Server {
         let mut per_query: Vec<(QueryId, Vec<ObjectId>)> = Vec::new();
         for &(id, pos) in updates {
             let p_lst = prev[&id];
-            let mut candidates: Vec<QueryId> = self.grid.queries_at(pos).to_vec();
-            for &qp in self.grid.queries_at(p_lst) {
-                if !candidates.contains(&qp) {
-                    candidates.push(qp);
-                }
-            }
-            for qid in candidates {
+            for qid in self.processor.candidates(pos, p_lst) {
                 match per_query.iter_mut().find(|(q, _)| *q == qid) {
                     Some((_, movers)) => {
                         if !movers.contains(&id) {
@@ -543,33 +495,27 @@ impl Server {
         let space = self.config.space;
         let mut changes = Vec::new();
         for (qid, movers) in per_query {
-            let Some(mut qs) = self.queries[qid.index()].take() else {
-                continue;
-            };
-            let old_bbox = qs.quarantine.bbox();
-            let outcome = if movers.len() == 1 {
-                let id = movers[0];
-                let pos = exact[&id];
-                let p_lst = prev[&id];
-                let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
-                reevaluate(&mut ctx, &mut qs, id, pos, p_lst, &space)
-            } else {
-                let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
-                crate::reeval::reevaluate_multi(&mut ctx, &mut qs, &movers, &prev, &space)
-            };
-            if outcome.quarantine_changed {
-                self.grid.update(qid, &old_bbox, &qs.quarantine.bbox());
+            let mut ctx = ctx(
+                &self.index,
+                &mut self.costs,
+                &mut self.work,
+                &mut exact,
+                &mut deferred,
+                provider,
+                self.config.max_speed,
+                now,
+            );
+            if let Some(results) =
+                self.processor.reevaluate_batch(&mut ctx, qid, &movers, &prev, &space)
+            {
+                changes.push(ResultChange { query: qid, results });
             }
-            if outcome.results_changed {
-                changes.push(ResultChange { query: qid, results: qs.results.clone() });
-            }
-            self.queries[qid.index()] = Some(qs);
         }
 
         let probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
         let exact_all: HashMap<ObjectId, Point> =
             probed.iter().map(|&(o, _)| (o, Point::ORIGIN)).collect();
-        self.absorb_deferred(&mut deferred, &exact_all);
+        self.location.absorb_deferred(&mut deferred, &exact_all, self.index.objects());
 
         // Assemble per-updater responses; probed bystanders ride along with
         // the first updater.
@@ -601,46 +547,41 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> UpdateResponse {
-        let st = *self.objects.get(id).expect("unknown object");
+        let st = *self.index.get(id).expect("unknown object");
         let p_lst = st.p_lst;
 
         // The object's stored region no longer bounds it; replace it with
         // the exact point so index-based evaluation stays sound.
-        self.tree.update(id.entry(), Rect::point(pos));
+        self.index.pin_to_point(id, pos);
         let mut exact: HashMap<ObjectId, Point> = HashMap::new();
         let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
         exact.insert(id, pos);
 
         // Affected-query candidates: buckets of the new and old cells.
-        let mut candidates: Vec<QueryId> = self.grid.queries_at(pos).to_vec();
-        for &q in self.grid.queries_at(p_lst) {
-            if !candidates.contains(&q) {
-                candidates.push(q);
-            }
-        }
+        let candidates = self.processor.candidates(pos, p_lst);
 
         let mut changes = Vec::new();
         let space = self.config.space;
         for qid in candidates {
-            let Some(mut qs) = self.queries[qid.index()].take() else {
-                continue;
-            };
-            let old_bbox = qs.quarantine.bbox();
-            let outcome = {
-                let mut ctx = self.ctx(&mut exact, &mut deferred, provider, now);
-                reevaluate(&mut ctx, &mut qs, id, pos, p_lst, &space)
-            };
-            if outcome.quarantine_changed {
-                self.grid.update(qid, &old_bbox, &qs.quarantine.bbox());
+            let mut ctx = ctx(
+                &self.index,
+                &mut self.costs,
+                &mut self.work,
+                &mut exact,
+                &mut deferred,
+                provider,
+                self.config.max_speed,
+                now,
+            );
+            if let Some(results) =
+                self.processor.reevaluate_single(&mut ctx, qid, id, pos, p_lst, &space)
+            {
+                changes.push(ResultChange { query: qid, results });
             }
-            if outcome.results_changed {
-                changes.push(ResultChange { query: qid, results: qs.results.clone() });
-            }
-            self.queries[qid.index()] = Some(qs);
         }
 
         let mut probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
-        self.absorb_deferred(&mut deferred, &exact);
+        self.location.absorb_deferred(&mut deferred, &exact, self.index.objects());
         let safe_region = probed
             .iter()
             .position(|(o, _)| *o == id)
@@ -649,74 +590,32 @@ impl Server {
         UpdateResponse { safe_region, probed, changes }
     }
 
-    // ------------------------------------------------------------------
-    // Internals
-    // ------------------------------------------------------------------
-
-    fn alloc_query_id(&mut self) -> QueryId {
-        for (i, slot) in self.queries.iter().enumerate() {
-            if slot.is_none() {
-                return QueryId(i as u32);
-            }
-        }
-        self.queries.push(None);
-        QueryId((self.queries.len() - 1) as u32)
-    }
-
-    fn ctx<'a>(
-        &'a mut self,
-        exact: &'a mut HashMap<ObjectId, Point>,
-        deferred: &'a mut Vec<(ObjectId, f64)>,
-        provider: &'a mut dyn LocationProvider,
-        now: f64,
-    ) -> EvalCtx<'a> {
-        EvalCtx {
-            tree: &self.tree,
-            objects: &self.objects,
-            exact,
-            provider,
-            costs: &mut self.costs,
-            work: &mut self.work,
-            deferred,
-            max_speed: self.config.max_speed,
-            now,
-        }
-    }
-
-    /// Moves evaluation-time deferral requests into the timer queue.
-    /// Requests for objects that ended up exactly known in this operation
-    /// are dropped — their safe regions were just recomputed.
-    fn absorb_deferred(
+    /// Ingests a coordinator-initiated probe result as a server-initiated
+    /// update: the probe cost is booked here, then the position is processed
+    /// exactly like a report (reevaluation, safe-region regrant). Used by
+    /// the sharded coordinator when cross-shard merging had to pin an
+    /// object's exact location — the owning shard must regrant a region so
+    /// the client is not left pending.
+    pub(crate) fn ingest_probe(
         &mut self,
-        scratch: &mut Vec<(ObjectId, f64)>,
-        exact: &HashMap<ObjectId, Point>,
-    ) {
-        for (oid, due) in scratch.drain(..) {
-            if exact.contains_key(&oid) {
-                continue;
-            }
-            let Some(st) = self.objects.get(oid) else { continue };
-            self.deferred.push(Reverse(Deferred {
-                due,
-                oid,
-                epoch: st.t_lst,
-                kind: DeferKind::Slack,
-            }));
-        }
+        id: ObjectId,
+        pos: Point,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> UpdateResponse {
+        self.costs.probes += 1;
+        self.process_report(id, pos, provider, now)
     }
+
+    // ------------------------------------------------------------------
+    // Deferred probes (location-manager timers)
+    // ------------------------------------------------------------------
 
     /// The earliest pending deferred-probe time, if any. Stale entries are
     /// discarded lazily. Event-driven callers (the simulator) use this to
     /// schedule [`process_deferred`](Self::process_deferred).
     pub fn next_deferred_due(&mut self) -> Option<f64> {
-        while let Some(Reverse(d)) = self.deferred.peek() {
-            let fresh = self.objects.get(d.oid).map(|st| st.t_lst == d.epoch).unwrap_or(false);
-            if fresh {
-                return Some(d.due);
-            }
-            self.deferred.pop();
-        }
-        None
+        self.location.next_due(self.index.objects())
     }
 
     /// Fires every deferred probe due at or before `now`: each still-fresh
@@ -729,11 +628,7 @@ impl Server {
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
         let mut out = Vec::new();
-        while let Some(due) = self.next_deferred_due() {
-            if due > now + 1e-12 {
-                break;
-            }
-            let Some(Reverse(d)) = self.deferred.pop() else { break };
+        while let Some(d) = self.location.pop_due(self.index.objects(), now) {
             let pos = provider.probe(d.oid);
             self.costs.probes += 1;
             if d.kind == DeferKind::Lease {
@@ -743,6 +638,10 @@ impl Server {
         }
         out
     }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
 
     /// Recomputes and installs safe regions for every exactly-known object
     /// of this server operation (Algorithm 1, lines 14-15). Returns the new
@@ -754,48 +653,42 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, Rect)> {
-        let mut out: Vec<(ObjectId, Rect)> = Vec::with_capacity(exact.len());
-        // Worklist in deterministic (id) order. Recomputing one object's
-        // ring can probe a conflicting neighbor (see
-        // `safe_region::neighbor_bound`), which inserts it into `exact` —
-        // the loop picks it up until fixpoint. Objects already recomputed
-        // leave the invalid set, so later ring bounds use their fresh safe
-        // regions.
-        while let Some(oid) =
-            exact.keys().copied().filter(|o| !out.iter().any(|(done, _)| done == o)).min()
-        {
-            let pos = exact.remove(&oid).expect("picked from map");
-            let p_lst = self.objects.get(oid).map(|s| s.p_lst).unwrap_or(pos);
-            let steadiness = self.config.steadiness;
-            let grid = std::mem::replace(&mut self.grid, GridIndex::new(self.config.space, 1));
-            let queries = std::mem::take(&mut self.queries);
-            let sr = {
-                let mut ctx = self.ctx(exact, deferred, provider, now);
-                compute_safe_region(&mut ctx, &grid, &queries, oid, pos, p_lst, steadiness)
-            };
-            self.grid = grid;
-            self.queries = queries;
-            self.work.safe_regions += 1;
-            self.tree.update(oid.entry(), sr);
-            let last_seq = self.objects.get(oid).map(|s| s.last_seq).unwrap_or(0);
-            self.objects
-                .set(oid, ObjectState { p_lst: pos, t_lst: now, safe_region: sr, last_seq });
-            if let Some(lease) = self.config.lease {
-                if lease > 0.0 {
-                    // Renewal-on-contact is implicit: this entry's epoch is
-                    // the fresh `t_lst`, so any later contact (which bumps
-                    // `t_lst`) invalidates it via the staleness rule.
-                    self.deferred.push(Reverse(Deferred {
-                        due: now + lease,
-                        oid,
-                        epoch: now,
-                        kind: DeferKind::Lease,
-                    }));
-                }
-            }
-            out.push((oid, sr));
-        }
-        out
+        self.location.recompute_safe_regions(
+            &self.config,
+            &mut self.index,
+            &self.processor,
+            &mut self.costs,
+            &mut self.work,
+            exact,
+            deferred,
+            provider,
+            now,
+        )
+    }
+}
+
+/// Builds the evaluation context from the split server layers.
+#[allow(clippy::too_many_arguments)]
+fn ctx<'a>(
+    index: &'a ObjectIndex,
+    costs: &'a mut CostTracker,
+    work: &'a mut WorkStats,
+    exact: &'a mut HashMap<ObjectId, Point>,
+    deferred: &'a mut Vec<(ObjectId, f64)>,
+    provider: &'a mut dyn LocationProvider,
+    max_speed: Option<f64>,
+    now: f64,
+) -> EvalCtx<'a> {
+    EvalCtx {
+        tree: index.tree(),
+        objects: index.objects(),
+        exact,
+        provider,
+        costs,
+        work,
+        deferred,
+        max_speed,
+        now,
     }
 }
 

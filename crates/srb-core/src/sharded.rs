@@ -1,0 +1,1028 @@
+//! A sharded, batch-parallel engine built on top of the Figure-3.1 layer
+//! stack (scalability direction of §7.3).
+//!
+//! [`ShardedServer`] hash-partitions the moving objects across `N`
+//! shard-local [`Server`] stacks, keyed by the grid cell of each object's
+//! registration position. Every query is registered on every shard (the
+//! per-shard allocators run in lockstep, so ids align), which makes each
+//! shard's answer exact *over its own objects*:
+//!
+//! - a **range** query's global result is the disjoint union of per-shard
+//!   results;
+//! - a **kNN** query's global top-k is contained in the union of the
+//!   per-shard top-k lists, so the coordinator only ranks that candidate
+//!   union.
+//!
+//! Batch location updates fan out to the shards — via [`rayon::join`] on the
+//! [`handle_sequenced_updates_parallel`](ShardedServer::handle_sequenced_updates_parallel)
+//! path — and responses are merged deterministically: response entries
+//! sorted by [`ObjectId`], coordinator result changes sorted by [`QueryId`].
+//! With one shard the engine is a pure pass-through and bit-identical to a
+//! plain [`Server`].
+//!
+//! # Cross-shard kNN resolution
+//!
+//! Per-shard safe regions are computed against shard-local neighbors, so
+//! the coordinator cannot compare candidates by region geometry across
+//! shards in general. Instead it ranks candidates by the distance interval
+//! `[minDist, maxDist]` from the query point to each candidate's current
+//! safe region (or its exact position when the object reported or was
+//! probed at the current timestamp). When two intervals overlap across a
+//! rank that matters — adjacent ranks of an order-sensitive query, any
+//! selected candidate against the first unselected one of an
+//! order-insensitive query — the coordinator probes the
+//! wider interval and feeds the exact position back into the owning shard
+//! through its server-initiated-update path, so the probe is billed (`c_p`),
+//! the shard reevaluates, and the client receives a fresh safe region
+//! instead of being left pending.
+
+use crate::config::ServerConfig;
+use crate::error::ServerError;
+use crate::ids::{ObjectId, QueryId};
+use crate::provider::{CostTracker, LocationProvider, WorkStats};
+use crate::query::{QuerySpec, ResultChange};
+use crate::server::{RegisterResponse, ResultRemoval, SequencedUpdate, Server, UpdateResponse};
+use srb_geom::{Point, Rect};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Interval-separation slack for cross-shard kNN ranking.
+const EPS: f64 = 1e-9;
+
+/// A thread-safe location provider for the parallel fan-out path: probes
+/// take `&self` so shards running on different threads can share one
+/// provider. The simulator's true-position table and the benches' position
+/// vectors implement this trivially.
+pub trait SyncProvider: Sync {
+    /// Returns the exact current location of `id`.
+    fn probe(&self, id: ObjectId) -> Point;
+}
+
+impl<F: Fn(ObjectId) -> Point + Sync> SyncProvider for F {
+    fn probe(&self, id: ObjectId) -> Point {
+        self(id)
+    }
+}
+
+/// Adapts a shared [`SyncProvider`] to the sequential [`LocationProvider`]
+/// interface each shard expects.
+struct SyncAdapter<'a, P: SyncProvider + ?Sized>(&'a P);
+
+impl<P: SyncProvider + ?Sized> LocationProvider for SyncAdapter<'_, P> {
+    fn probe(&mut self, id: ObjectId) -> Point {
+        self.0.probe(id)
+    }
+}
+
+/// The number of threads the batch fan-out may use: the `SRB_THREADS`
+/// environment variable if set to a positive integer, else rayon's
+/// configured parallelism (`RAYON_NUM_THREADS` / available cores).
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("SRB_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    rayon::current_num_threads()
+}
+
+/// A server of servers: `N` shard-local [`Server`] stacks behind one
+/// coordinator that owns cross-shard query merging. See the module docs for
+/// the partitioning and merge rules. One shard means pure delegation —
+/// behaviorally identical to a plain [`Server`].
+pub struct ShardedServer {
+    config: ServerConfig,
+    shards: Vec<Server>,
+    /// Object → owning shard, indexed by `ObjectId::index()`.
+    owner: Vec<Option<u32>>,
+    /// Coordinator copy of each query's spec, indexed by `QueryId::index()`.
+    specs: Vec<Option<QuerySpec>>,
+    /// Coordinator-merged result per query (maintained only with `N > 1`).
+    merged: Vec<Option<Vec<ObjectId>>>,
+    /// Coordinator-level work counters (e.g. unknown-object drops detected
+    /// before an update reaches any shard).
+    coord_work: WorkStats,
+    /// Explicit thread-count override; `None` defers to
+    /// [`configured_threads`].
+    threads: Option<usize>,
+}
+
+impl ShardedServer {
+    /// Creates a sharded server with `shards` shard-local stacks, each
+    /// configured identically.
+    pub fn new(config: ServerConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedServer {
+            shards: (0..shards).map(|_| Server::new(config)).collect(),
+            owner: Vec::new(),
+            specs: Vec::new(),
+            merged: Vec::new(),
+            coord_work: WorkStats::default(),
+            threads: None,
+            config,
+        }
+    }
+
+    /// Creates a single-shard server with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServerConfig::default(), 1)
+    }
+
+    /// Overrides the fan-out thread count (otherwise [`configured_threads`]
+    /// decides). A value of 1 forces the deterministic inline path.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shared shard configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard-local server stacks, in shard order.
+    pub fn shards(&self) -> &[Server] {
+        &self.shards
+    }
+
+    /// Total number of registered objects across all shards.
+    pub fn object_count(&self) -> usize {
+        self.shards.iter().map(Server::object_count).sum()
+    }
+
+    /// Number of registered queries (identical on every shard).
+    pub fn query_count(&self) -> usize {
+        self.shards[0].query_count()
+    }
+
+    /// Iterates over the registered query ids.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.shards[0].query_ids()
+    }
+
+    /// The current (merged) result set of a query. Ordered for
+    /// order-sensitive kNN; sorted by id otherwise when `N > 1`.
+    pub fn results(&self, id: QueryId) -> Option<&[ObjectId]> {
+        if self.shards.len() == 1 {
+            return self.shards[0].results(id);
+        }
+        self.merged.get(id.index()).and_then(|r| r.as_deref())
+    }
+
+    /// The safe region of `id`, as granted by its owning shard.
+    pub fn safe_region(&self, id: ObjectId) -> Option<Rect> {
+        self.owning_shard(id)?.safe_region(id)
+    }
+
+    /// The last exactly-known location of `id` and its timestamp.
+    pub fn last_known(&self, id: ObjectId) -> Option<(Point, f64)> {
+        self.owning_shard(id)?.last_known(id)
+    }
+
+    /// Communication totals summed across shards. Coordinator probes are
+    /// billed on the owning shard, so the sum is the fleet-wide truth.
+    pub fn costs(&self) -> CostTracker {
+        let mut total = CostTracker::default();
+        for s in &self.shards {
+            total.merge(&s.costs());
+        }
+        total
+    }
+
+    /// Work counters summed across shards plus the coordinator's own.
+    pub fn work(&self) -> WorkStats {
+        let mut total = self.coord_work;
+        for s in &self.shards {
+            total.merge(&s.work());
+        }
+        total
+    }
+
+    /// Total object-index node visits across shards.
+    pub fn index_visits(&self) -> u64 {
+        self.shards.iter().map(Server::index_visits).sum()
+    }
+
+    /// Total grid-index footprint across shards.
+    pub fn grid_footprint(&self) -> usize {
+        self.shards.iter().map(Server::grid_footprint).sum()
+    }
+
+    /// Verifies per-shard consistency plus the coordinator's owner map.
+    pub fn check_invariants(&self) {
+        for s in &self.shards {
+            s.check_invariants();
+        }
+        let owned = self.owner.iter().filter(|o| o.is_some()).count();
+        assert_eq!(owned, self.object_count(), "owner map out of sync with shards");
+    }
+
+    /// Full consistency scan on every shard (release included).
+    #[doc(hidden)]
+    pub fn check_invariants_deep(&self) {
+        for s in &self.shards {
+            s.check_invariants_deep();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Object lifecycle
+    // ------------------------------------------------------------------
+
+    /// Registers a new moving object at `pos` on the shard its registration
+    /// grid cell hashes to. With `N > 1`, register objects before queries
+    /// when possible: safe regions granted to other clients by merge-time
+    /// probes during a later `add_object` cannot be returned through this
+    /// signature and are dropped (each affected client recovers on its next
+    /// report).
+    pub fn add_object(
+        &mut self,
+        id: ObjectId,
+        pos: Point,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Result<Rect, ServerError> {
+        if self.owner_of(id).is_some() {
+            return Err(ServerError::DuplicateObject(id));
+        }
+        let target = self.assign_shard(pos);
+        let sr = self.shards[target].add_object(id, pos, provider, now)?;
+        if self.owner.len() <= id.index() {
+            self.owner.resize(id.index() + 1, None);
+        }
+        self.owner[id.index()] = Some(target as u32);
+        if self.shards.len() > 1 {
+            // The owning shard folded the object into every query whose
+            // quarantine covers it; re-merge those queries' global results.
+            let triggers: BTreeSet<QueryId> = self.shards[target]
+                .query_ids()
+                .filter(|&q| {
+                    self.shards[target].quarantine(q).map(|qa| qa.contains(pos)).unwrap_or(false)
+                })
+                .collect();
+            let _ = self.merge_after(triggers, provider, now);
+        }
+        Ok(sr)
+    }
+
+    /// Removes a moving object from its owning shard; queries holding it are
+    /// reevaluated there and re-merged globally.
+    pub fn remove_object(
+        &mut self,
+        id: ObjectId,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Option<ResultRemoval> {
+        let target = self.owner_of(id)?;
+        let mut removal = self.shards[target].remove_object(id, provider, now)?;
+        self.owner[id.index()] = None;
+        if self.shards.len() > 1 {
+            let mut triggers: BTreeSet<QueryId> = removal.changes.iter().map(|c| c.query).collect();
+            for (qi, r) in self.merged.iter().enumerate() {
+                if r.as_ref().is_some_and(|r| r.contains(&id)) {
+                    triggers.insert(QueryId(qi as u32));
+                }
+            }
+            let (probed, changes) = self.merge_after(triggers, provider, now);
+            removal.probed.extend(probed);
+            removal.changes = changes;
+        }
+        Some(removal)
+    }
+
+    // ------------------------------------------------------------------
+    // Query lifecycle
+    // ------------------------------------------------------------------
+
+    /// Registers a continuous query on every shard (the allocators run in
+    /// lockstep so all shards assign the same id) and merges the initial
+    /// per-shard results into the global answer.
+    pub fn register_query(
+        &mut self,
+        spec: QuerySpec,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> RegisterResponse {
+        if self.shards.len() == 1 {
+            let resp = self.shards[0].register_query(spec, provider, now);
+            self.record_spec(resp.id, spec);
+            return resp;
+        }
+        let mut id: Option<QueryId> = None;
+        let mut safe_regions: Vec<(ObjectId, Rect)> = Vec::new();
+        for shard in &mut self.shards {
+            let resp = shard.register_query(spec, provider, now);
+            match id {
+                None => id = Some(resp.id),
+                Some(expected) => {
+                    assert_eq!(expected, resp.id, "shard query allocators out of lockstep")
+                }
+            }
+            safe_regions.extend(resp.safe_regions);
+        }
+        let id = id.expect("at least one shard");
+        self.record_spec(id, spec);
+        if self.merged.len() <= id.index() {
+            self.merged.resize(id.index() + 1, None);
+        }
+        self.merged[id.index()] = Some(Vec::new());
+        let (probed, _changes) = self.merge_after([id].into(), provider, now);
+        safe_regions.extend(probed);
+        // Deduplicate grants (later regions supersede earlier ones) and
+        // emit them in deterministic id order.
+        let deduped: BTreeMap<ObjectId, Rect> = safe_regions.into_iter().collect();
+        RegisterResponse {
+            id,
+            results: self.merged[id.index()].clone().unwrap_or_default(),
+            safe_regions: deduped.into_iter().collect(),
+        }
+    }
+
+    /// Deregisters a query from every shard.
+    pub fn deregister_query(&mut self, id: QueryId) -> bool {
+        let mut removed = false;
+        for shard in &mut self.shards {
+            removed |= shard.deregister_query(id);
+        }
+        if let Some(s) = self.specs.get_mut(id.index()) {
+            *s = None;
+        }
+        if let Some(m) = self.merged.get_mut(id.index()) {
+            *m = None;
+        }
+        removed
+    }
+
+    // ------------------------------------------------------------------
+    // Location updates
+    // ------------------------------------------------------------------
+
+    /// Handles one source-initiated update: routed to the owning shard, then
+    /// affected queries are re-merged globally. Coordinator-probed safe
+    /// regions ride along in `probed`; `changes` carries the *global* result
+    /// changes.
+    pub fn handle_location_update(
+        &mut self,
+        id: ObjectId,
+        pos: Point,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Result<UpdateResponse, ServerError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].handle_location_update(id, pos, provider, now);
+        }
+        let target = self.owner_of(id).ok_or(ServerError::UnknownObject(id))?;
+        let mut resp = self.shards[target].handle_location_update(id, pos, provider, now)?;
+        let mut triggers: BTreeSet<QueryId> = resp.changes.drain(..).map(|c| c.query).collect();
+        let mut moved: BTreeSet<ObjectId> = [id].into();
+        moved.extend(resp.probed.iter().map(|&(o, _)| o));
+        self.membership_triggers(&moved, &mut triggers);
+        let (probed, changes) = self.merge_after(triggers, provider, now);
+        resp.probed.extend(probed);
+        resp.changes = changes;
+        Ok(resp)
+    }
+
+    /// Handles a batch of simultaneous updates, stamping each with its
+    /// object's next sequence number (unknown objects are dropped and
+    /// counted).
+    pub fn handle_location_updates(
+        &mut self,
+        updates: &[(ObjectId, Point)],
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        if self.shards.len() == 1 {
+            return self.shards[0].handle_location_updates(updates, provider, now);
+        }
+        let sequenced: Vec<SequencedUpdate> = updates
+            .iter()
+            .filter_map(|&(id, pos)| {
+                let shard = self.owning_shard(id)?;
+                shard.last_known(id)?;
+                Some(SequencedUpdate { id, pos, seq: self.next_seq(id) })
+            })
+            .collect();
+        self.coord_work.unknown_object_drops += (updates.len() - sequenced.len()) as u64;
+        self.handle_sequenced_updates(&sequenced, provider, now)
+    }
+
+    /// Handles a batch of sequenced updates: partitioned by owning shard,
+    /// applied shard by shard, then merged. Responses come back sorted by
+    /// [`ObjectId`]; the global result changes (sorted by [`QueryId`]) ride
+    /// on the first response entry, mirroring the unsharded batch contract.
+    pub fn handle_sequenced_updates(
+        &mut self,
+        updates: &[SequencedUpdate],
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        if self.shards.len() == 1 {
+            return self.shards[0].handle_sequenced_updates(updates, provider, now);
+        }
+        let batches = self.partition(updates);
+        let mut responses = Vec::new();
+        for (shard, batch) in self.shards.iter_mut().zip(&batches) {
+            if !batch.is_empty() {
+                responses.extend(shard.handle_sequenced_updates(batch, provider, now));
+            }
+        }
+        self.finish_batch(responses, provider, now)
+    }
+
+    /// The parallel twin of
+    /// [`handle_sequenced_updates`](Self::handle_sequenced_updates): shard
+    /// batches run concurrently via recursive [`rayon::join`] over disjoint
+    /// shard slices, sharing one [`SyncProvider`]. The coordinator merge
+    /// then runs sequentially, so the output is identical to the sequential
+    /// path regardless of thread count.
+    pub fn handle_sequenced_updates_parallel<P: SyncProvider>(
+        &mut self,
+        updates: &[SequencedUpdate],
+        provider: &P,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        if self.shards.len() == 1 {
+            let mut adapter = SyncAdapter(provider);
+            return self.shards[0].handle_sequenced_updates(updates, &mut adapter, now);
+        }
+        let batches = self.partition(updates);
+        let shard_responses = if self.threads() <= 1 {
+            self.shards
+                .iter_mut()
+                .zip(&batches)
+                .map(|(shard, batch)| {
+                    let mut adapter = SyncAdapter(provider);
+                    shard.handle_sequenced_updates(batch, &mut adapter, now)
+                })
+                .collect()
+        } else {
+            fan_out(&mut self.shards, &batches, provider, now)
+        };
+        let responses = shard_responses.into_iter().flatten().collect();
+        let mut adapter = SyncAdapter(provider);
+        self.finish_batch(responses, &mut adapter, now)
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred probes
+    // ------------------------------------------------------------------
+
+    /// The earliest pending deferred-probe time across all shards.
+    pub fn next_deferred_due(&mut self) -> Option<f64> {
+        self.shards.iter_mut().filter_map(Server::next_deferred_due).min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Fires every deferred probe due at or before `now` on every shard,
+    /// then re-merges affected queries (batch response contract as in
+    /// [`handle_sequenced_updates`](Self::handle_sequenced_updates)).
+    pub fn process_deferred(
+        &mut self,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        if self.shards.len() == 1 {
+            return self.shards[0].process_deferred(provider, now);
+        }
+        let mut responses = Vec::new();
+        for shard in &mut self.shards {
+            responses.extend(shard.process_deferred(provider, now));
+        }
+        self.finish_batch(responses, provider, now)
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinator internals
+    // ------------------------------------------------------------------
+
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(configured_threads).max(1)
+    }
+
+    fn owner_of(&self, id: ObjectId) -> Option<usize> {
+        self.owner.get(id.index()).copied().flatten().map(|s| s as usize)
+    }
+
+    fn owning_shard(&self, id: ObjectId) -> Option<&Server> {
+        if self.shards.len() == 1 {
+            return Some(&self.shards[0]);
+        }
+        Some(&self.shards[self.owner_of(id)?])
+    }
+
+    /// The shard a registration at `pos` lands on: a hash of the grid cell,
+    /// modulo the shard count. The assignment is fixed at registration time
+    /// — later movement never migrates the object, because the coordinator
+    /// union keeps query answers exact regardless of the partition.
+    fn assign_shard(&self, pos: Point) -> usize {
+        let grid = self.shards[0].query_processor().grid();
+        let (i, j) = grid.cell_of(pos);
+        let key = (i as u64) * (grid.m() as u64) + j as u64;
+        (splitmix64(key) % self.shards.len() as u64) as usize
+    }
+
+    fn next_seq(&self, id: ObjectId) -> u64 {
+        self.owning_shard(id).and_then(|s| s.last_seq(id)).map_or(1, |s| s + 1)
+    }
+
+    fn record_spec(&mut self, id: QueryId, spec: QuerySpec) {
+        if self.specs.len() <= id.index() {
+            self.specs.resize(id.index() + 1, None);
+        }
+        self.specs[id.index()] = Some(spec);
+    }
+
+    fn partition(&self, updates: &[SequencedUpdate]) -> Vec<Vec<SequencedUpdate>> {
+        let mut batches = vec![Vec::new(); self.shards.len()];
+        for &u in updates {
+            // Unknown objects go to shard 0, which drops and counts them.
+            batches[self.owner_of(u.id).unwrap_or(0)].push(u);
+        }
+        batches
+    }
+
+    /// Adds every kNN query holding a moved/probed object in some shard's
+    /// local result to the trigger set: an in-place position change can
+    /// reorder the global ranking without changing any shard-local result.
+    fn membership_triggers(&self, moved: &BTreeSet<ObjectId>, triggers: &mut BTreeSet<QueryId>) {
+        for (qi, spec) in self.specs.iter().enumerate() {
+            if !matches!(spec, Some(QuerySpec::Knn { .. })) {
+                continue;
+            }
+            let qid = QueryId(qi as u32);
+            if triggers.contains(&qid) {
+                continue;
+            }
+            let hit = self.shards.iter().any(|shard| {
+                shard.results(qid).is_some_and(|rs| rs.iter().any(|o| moved.contains(o)))
+            });
+            if hit {
+                triggers.insert(qid);
+            }
+        }
+    }
+
+    /// Shared batch tail: derive the trigger set from the shard responses,
+    /// re-merge, and assemble the deterministic global response.
+    fn finish_batch(
+        &mut self,
+        mut responses: Vec<(ObjectId, UpdateResponse)>,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<(ObjectId, UpdateResponse)> {
+        let mut triggers: BTreeSet<QueryId> = BTreeSet::new();
+        let mut moved: BTreeSet<ObjectId> = BTreeSet::new();
+        for (oid, resp) in &mut responses {
+            for ch in resp.changes.drain(..) {
+                triggers.insert(ch.query);
+            }
+            moved.extend(resp.probed.iter().map(|&(o, _)| o));
+            // Regrant entries did not touch the object state; only entries
+            // whose object was contacted at `now` represent movement.
+            if self.owning_shard(*oid).and_then(|s| s.last_known(*oid)).map(|(_, t)| t) == Some(now)
+            {
+                moved.insert(*oid);
+            }
+        }
+        self.membership_triggers(&moved, &mut triggers);
+        let (probed, changes) = self.merge_after(triggers, provider, now);
+        responses.sort_by_key(|&(oid, _)| oid);
+        if let Some(first) = responses.first_mut() {
+            first.1.probed.extend(probed);
+            first.1.changes = changes;
+        } else {
+            debug_assert!(
+                probed.is_empty() && changes.is_empty(),
+                "merge produced output without any shard response"
+            );
+        }
+        responses
+    }
+
+    /// Re-merges every query in `queue` to fixpoint. Coordinator probes made
+    /// along the way can change *other* queries' shard-local results; those
+    /// queries are appended to the queue. Returns the safe regions granted
+    /// by coordinator probes and the global result changes in ascending
+    /// [`QueryId`] order.
+    fn merge_after(
+        &mut self,
+        mut queue: BTreeSet<QueryId>,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> (Vec<(ObjectId, Rect)>, Vec<ResultChange>) {
+        let mut probed: Vec<(ObjectId, Rect)> = Vec::new();
+        let mut changed: BTreeMap<QueryId, Vec<ObjectId>> = BTreeMap::new();
+        let mut rounds = 0usize;
+        while let Some(qid) = queue.pop_first() {
+            rounds += 1;
+            assert!(rounds <= 100_000, "cross-shard merge failed to converge");
+            let Some(spec) = self.specs.get(qid.index()).copied().flatten() else { continue };
+            let new = match spec {
+                QuerySpec::Range { .. } => self.merge_range(qid),
+                QuerySpec::Knn { center, k, order_sensitive } => self.merge_knn(
+                    qid,
+                    center,
+                    k,
+                    order_sensitive,
+                    &mut probed,
+                    &mut queue,
+                    provider,
+                    now,
+                ),
+            };
+            if self.merged.len() <= qid.index() {
+                self.merged.resize(qid.index() + 1, None);
+            }
+            if self.merged[qid.index()].as_ref() != Some(&new) {
+                self.merged[qid.index()] = Some(new.clone());
+                changed.insert(qid, new);
+            }
+        }
+        let changes =
+            changed.into_iter().map(|(query, results)| ResultChange { query, results }).collect();
+        (probed, changes)
+    }
+
+    /// Objects live on exactly one shard, so a range query's global answer
+    /// is the concatenation of per-shard answers, sorted for determinism.
+    fn merge_range(&self, qid: QueryId) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = Vec::new();
+        for shard in &self.shards {
+            if let Some(rs) = shard.results(qid) {
+                out.extend_from_slice(rs);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Ranks the union of per-shard top-k lists by distance intervals,
+    /// probing (through the owning shard) until every rank that matters is
+    /// separated. See the module docs for the guarantees.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_knn(
+        &mut self,
+        qid: QueryId,
+        center: Point,
+        k: usize,
+        order_sensitive: bool,
+        probed: &mut Vec<(ObjectId, Rect)>,
+        queue: &mut BTreeSet<QueryId>,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> Vec<ObjectId> {
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            assert!(guard <= 10_000, "cross-shard kNN ranking failed to converge");
+            // Candidate union, rebuilt each round: an ingested probe can
+            // reorder the owning shard's local list.
+            let mut iv: Vec<(f64, f64, ObjectId)> = Vec::new();
+            for shard in &self.shards {
+                let Some(rs) = shard.results(qid) else { continue };
+                for &o in rs {
+                    if iv.iter().all(|e| e.2 != o) {
+                        let (lo, hi) = self.bound_of(o, center, now);
+                        iv.push((lo, hi, o));
+                    }
+                }
+            }
+            iv.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+            let k_eff = k.min(iv.len());
+            // Interval pairs that must be separated. Order-sensitive: every
+            // adjacent pair through the k-boundary (proves the full order).
+            // Unordered: every *selected* candidate against the first
+            // unselected one — the boundary pair alone is not enough, since
+            // a wide interval can sort into the top k by its lower bound
+            // while its upper bound reaches past the boundary.
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            if order_sensitive {
+                for i in 0..k_eff.min(iv.len().saturating_sub(1)) {
+                    pairs.push((i, i + 1));
+                }
+            } else if iv.len() > k_eff {
+                for i in 0..k_eff {
+                    pairs.push((i, k_eff));
+                }
+            }
+            let mut target: Option<ObjectId> = None;
+            for (i, j) in pairs {
+                let (a_lo, a_hi, a) = iv[i];
+                let (b_lo, b_hi, b) = iv[j];
+                if a_hi <= b_lo + EPS {
+                    continue;
+                }
+                let a_exact = self.is_exact(a, now);
+                let b_exact = self.is_exact(b, now);
+                if a_exact && b_exact {
+                    // A true tie: both distances are exact and equal (the
+                    // sort put the smaller first otherwise); resolved by id.
+                    continue;
+                }
+                target = Some(if a_exact {
+                    b
+                } else if b_exact || (a_hi - a_lo) >= (b_hi - b_lo) {
+                    a
+                } else {
+                    b
+                });
+                break;
+            }
+            let Some(o) = target else {
+                let mut out: Vec<ObjectId> = iv[..k_eff].iter().map(|e| e.2).collect();
+                if !order_sensitive {
+                    out.sort_unstable();
+                }
+                return out;
+            };
+            let pos = provider.probe(o);
+            let shard = self.owner_of(o).expect("candidate objects have owners");
+            let resp = self.shards[shard].ingest_probe(o, pos, provider, now);
+            probed.push((o, resp.safe_region));
+            probed.extend(resp.probed);
+            for ch in resp.changes {
+                if ch.query != qid {
+                    queue.insert(ch.query);
+                }
+            }
+        }
+    }
+
+    /// Distance interval from the query point to `o`: degenerate when the
+    /// object was contacted at `now` (its position is exact), the safe
+    /// region's `[minDist, maxDist]` otherwise.
+    fn bound_of(&self, o: ObjectId, center: Point, now: f64) -> (f64, f64) {
+        let shard = self.owning_shard(o).expect("candidate objects have owners");
+        if let Some((p, t)) = shard.last_known(o) {
+            if t == now {
+                let d = Rect::point(p).min_dist(center);
+                return (d, d);
+            }
+        }
+        let r = shard.safe_region(o).expect("candidate objects have regions");
+        (r.min_dist(center), r.max_dist(center))
+    }
+
+    fn is_exact(&self, o: ObjectId, now: f64) -> bool {
+        self.owning_shard(o).and_then(|s| s.last_known(o)).map(|(_, t)| t) == Some(now)
+    }
+}
+
+/// Runs each shard's batch on its own rayon task via recursive binary
+/// splitting of the (disjoint) shard slice.
+fn fan_out<P: SyncProvider>(
+    shards: &mut [Server],
+    batches: &[Vec<SequencedUpdate>],
+    provider: &P,
+    now: f64,
+) -> Vec<Vec<(ObjectId, UpdateResponse)>> {
+    match shards.len() {
+        0 => Vec::new(),
+        1 => {
+            let mut adapter = SyncAdapter(provider);
+            vec![shards[0].handle_sequenced_updates(&batches[0], &mut adapter, now)]
+        }
+        n => {
+            let mid = n / 2;
+            let (left_shards, right_shards) = shards.split_at_mut(mid);
+            let (left_batches, right_batches) = batches.split_at(mid);
+            let (mut left, right) = rayon::join(
+                || fan_out(left_shards, left_batches, provider, now),
+                || fan_out(right_shards, right_batches, provider, now),
+            );
+            left.extend(right);
+            left
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a deterministic, well-mixed cell → shard hash.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::FnProvider;
+
+    fn world(n: usize, seed: u64) -> Vec<Point> {
+        // Deterministic pseudo-random positions in the unit square.
+        (0..n)
+            .map(|i| {
+                let h = splitmix64(seed.wrapping_add(i as u64 * 0x1234_5678));
+                let x = (h >> 32) as f64 / u32::MAX as f64;
+                let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
+                Point::new(x.clamp(0.01, 0.99), y.clamp(0.01, 0.99))
+            })
+            .collect()
+    }
+
+    fn step(world: &mut [Point], round: u64) {
+        for (i, p) in world.iter_mut().enumerate() {
+            let h = splitmix64(round.wrapping_mul(31).wrapping_add(i as u64));
+            let dx = ((h >> 32) as f64 / u32::MAX as f64 - 0.5) * 0.08;
+            let dy = ((h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 - 0.5) * 0.08;
+            p.x = (p.x + dx).clamp(0.0, 1.0);
+            p.y = (p.y + dy).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Drives a plain Server and an N-shard ShardedServer through the same
+    /// update stream and asserts global results agree at every step.
+    fn assert_results_agree(n_shards: usize, specs: &[QuerySpec]) {
+        let mut positions = world(24, 7);
+        let mut plain = Server::with_defaults();
+        let mut sharded = ShardedServer::new(ServerConfig::default(), n_shards);
+        {
+            let snapshot = positions.clone();
+            let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+            for (i, &p) in snapshot.iter().enumerate() {
+                plain.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+                sharded.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+            }
+            for &spec in specs {
+                let a = plain.register_query(spec, &mut provider, 0.0);
+                let b = sharded.register_query(spec, &mut provider, 0.0);
+                assert_eq!(a.id, b.id);
+            }
+        }
+        let mut seqs = vec![0u64; positions.len()];
+        for round in 1..=20u64 {
+            step(&mut positions, round);
+            let now = round as f64 * 0.1;
+            let mut batch = Vec::new();
+            for (i, &p) in positions.iter().enumerate() {
+                // Report only objects that left their (plain-server) safe
+                // region, like real clients would.
+                let out_of_region =
+                    plain.safe_region(ObjectId(i as u32)).is_none_or(|r| !r.contains_point(p));
+                if out_of_region {
+                    seqs[i] += 1;
+                    batch.push(SequencedUpdate { id: ObjectId(i as u32), pos: p, seq: seqs[i] });
+                }
+            }
+            let snapshot = positions.clone();
+            let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+            plain.handle_sequenced_updates(&batch, &mut provider, now);
+            sharded.handle_sequenced_updates(&batch, &mut provider, now);
+            plain.check_invariants_deep();
+            sharded.check_invariants_deep();
+            for (q, spec) in specs.iter().enumerate() {
+                let qid = QueryId(q as u32);
+                let mut a = plain.results(qid).unwrap().to_vec();
+                let mut b = sharded.results(qid).unwrap().to_vec();
+                if !matches!(spec, QuerySpec::Knn { order_sensitive: true, .. }) {
+                    a.sort_unstable();
+                    b.sort_unstable();
+                }
+                assert_eq!(a, b, "round {round}, query {qid}, shards {n_shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_plain_server_results() {
+        assert_results_agree(
+            1,
+            &[
+                QuerySpec::range(Rect::new(Point::new(0.2, 0.2), Point::new(0.6, 0.6))),
+                QuerySpec::knn(Point::new(0.5, 0.5), 3),
+            ],
+        );
+    }
+
+    #[test]
+    fn multi_shard_range_results_match_plain_server() {
+        for n in [2, 3, 4] {
+            assert_results_agree(
+                n,
+                &[
+                    QuerySpec::range(Rect::new(Point::new(0.1, 0.1), Point::new(0.5, 0.7))),
+                    QuerySpec::range(Rect::new(Point::new(0.4, 0.0), Point::new(0.9, 0.4))),
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn multi_shard_knn_results_match_plain_server() {
+        for n in [2, 4] {
+            assert_results_agree(
+                n,
+                &[
+                    QuerySpec::knn(Point::new(0.5, 0.5), 3),
+                    QuerySpec::knn_unordered(Point::new(0.2, 0.8), 2),
+                ],
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_path() {
+        let mut positions = world(30, 11);
+        let mut seq_server = ShardedServer::new(ServerConfig::default(), 4);
+        let mut par_server = ShardedServer::new(ServerConfig::default(), 4).with_threads(4);
+        {
+            let snapshot = positions.clone();
+            let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+            for (i, &p) in snapshot.iter().enumerate() {
+                seq_server.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+                par_server.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+            }
+            for spec in [
+                QuerySpec::range(Rect::new(Point::new(0.2, 0.2), Point::new(0.7, 0.7))),
+                QuerySpec::knn(Point::new(0.4, 0.6), 4),
+            ] {
+                seq_server.register_query(spec, &mut provider, 0.0);
+                par_server.register_query(spec, &mut provider, 0.0);
+            }
+        }
+        let mut seqs = vec![0u64; positions.len()];
+        for round in 1..=15u64 {
+            step(&mut positions, round);
+            let now = round as f64 * 0.1;
+            let batch: Vec<SequencedUpdate> = positions
+                .iter()
+                .enumerate()
+                .filter(|&(i, &p)| {
+                    seq_server.safe_region(ObjectId(i as u32)).is_none_or(|r| !r.contains_point(p))
+                })
+                .map(|(i, &p)| {
+                    seqs[i] += 1;
+                    SequencedUpdate { id: ObjectId(i as u32), pos: p, seq: seqs[i] }
+                })
+                .collect();
+            let snapshot = positions.clone();
+            let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+            let a = seq_server.handle_sequenced_updates(&batch, &mut provider, now);
+            let sync = |id: ObjectId| snapshot[id.index()];
+            let b = par_server.handle_sequenced_updates_parallel(&batch, &sync, now);
+            let strip = |v: &[(ObjectId, UpdateResponse)]| {
+                v.iter().map(|(o, r)| (*o, r.safe_region)).collect::<Vec<_>>()
+            };
+            assert_eq!(strip(&a), strip(&b), "round {round}");
+            assert_eq!(seq_server.costs(), par_server.costs(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn sharded_costs_include_coordinator_probes() {
+        // Probes made by the coordinator must land in the fleet-wide totals.
+        let positions = world(16, 3);
+        let mut sharded = ShardedServer::new(ServerConfig::default(), 4);
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        for (i, &p) in snapshot.iter().enumerate() {
+            sharded.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+        }
+        let before = sharded.costs();
+        sharded.register_query(QuerySpec::knn(Point::new(0.5, 0.5), 5), &mut provider, 0.0);
+        let after = sharded.costs();
+        assert!(after.probes >= before.probes);
+        sharded.check_invariants();
+    }
+
+    #[test]
+    fn unknown_updates_are_dropped_and_counted() {
+        let mut sharded = ShardedServer::new(ServerConfig::default(), 2);
+        let mut provider = FnProvider(|_| Point::new(0.5, 0.5));
+        sharded.add_object(ObjectId(0), Point::new(0.3, 0.3), &mut provider, 0.0).unwrap();
+        let resp = sharded.handle_location_updates(
+            &[(ObjectId(0), Point::new(0.4, 0.4)), (ObjectId(99), Point::new(0.1, 0.1))],
+            &mut provider,
+            0.1,
+        );
+        assert_eq!(resp.len(), 1);
+        assert_eq!(sharded.work().unknown_object_drops, 1);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn duplicate_object_rejected_across_shards() {
+        let mut sharded = ShardedServer::new(ServerConfig::default(), 3);
+        let mut provider = FnProvider(|_| Point::new(0.5, 0.5));
+        sharded.add_object(ObjectId(1), Point::new(0.2, 0.2), &mut provider, 0.0).unwrap();
+        assert!(matches!(
+            sharded.add_object(ObjectId(1), Point::new(0.8, 0.8), &mut provider, 0.0),
+            Err(ServerError::DuplicateObject(_))
+        ));
+    }
+}

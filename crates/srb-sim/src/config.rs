@@ -64,6 +64,10 @@ pub struct SimConfig {
     /// Client retransmission policy for exit reports. Only consulted when
     /// [`SimConfig::channel`] is non-ideal.
     pub retry: RetryPolicy,
+    /// Number of server shards for the SRB scheme
+    /// ([`srb_core::ShardedServer`]). `1` (the default) runs the plain
+    /// single-stack server bit-identically to the paper's setup.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -92,6 +96,7 @@ impl SimConfig {
             channel: ChannelConfig::IDEAL,
             lease: None,
             retry: RetryPolicy::default(),
+            shards: 1,
         }
     }
 
@@ -145,6 +150,7 @@ mod tests {
         assert_eq!(c.cost.c_p, 1.5);
         assert!(c.channel.is_ideal(), "paper assumes a reliable channel");
         assert!(c.lease.is_none());
+        assert_eq!(c.shards, 1, "the paper's server is unsharded");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 mod channel;
 mod config;
 mod events;
+mod harness;
 mod metrics;
 mod opt;
 mod prd;
@@ -41,29 +42,12 @@ mod workload;
 pub use channel::{ChannelConfig, ChannelModel};
 pub use config::SimConfig;
 pub use events::EventQueue;
+pub use harness::{
+    check_tick, golden_scenarios, run_scheme, total_distance, MonitoringScheme, Scheme, EXIT_EPS,
+};
 pub use metrics::{AccuracyAcc, RunMetrics};
 pub use opt::run_opt;
 pub use prd::run_prd;
 pub use srb::run_srb;
 pub use truth::{evaluate_truth, results_match, TruthResults};
 pub use workload::generate_workload;
-
-/// Which monitoring scheme to run.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum Scheme {
-    /// Safe-region-based monitoring (the paper's contribution).
-    Srb,
-    /// Clairvoyant optimal monitoring (lower bound).
-    Opt,
-    /// Periodic monitoring with the given interval.
-    Prd(f64),
-}
-
-/// Runs one scheme under `cfg`.
-pub fn run_scheme(scheme: Scheme, cfg: &SimConfig) -> RunMetrics {
-    match scheme {
-        Scheme::Srb => run_srb(cfg),
-        Scheme::Opt => run_opt(cfg),
-        Scheme::Prd(t) => run_prd(cfg, t),
-    }
-}

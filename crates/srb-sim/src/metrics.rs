@@ -56,13 +56,16 @@ pub struct RunMetrics {
 impl RunMetrics {
     /// Communication cost helper. Cost is charged per uplink *sent* (the
     /// client pays for retransmissions whether or not they arrive); callers
-    /// that model a reliable channel set `uplinks_sent = uplinks`.
+    /// that model a reliable channel set `uplinks_sent = uplinks`. Degenerate
+    /// runs (zero objects, zero duration, zero distance) yield `0.0` for the
+    /// amortized figures rather than NaN/∞, so downstream JSON stays finite.
     pub fn finish_comm(&mut self, c_l: f64, c_p: f64, n_objects: usize, duration: f64) {
         if self.uplinks_sent == 0 {
             self.uplinks_sent = self.uplinks;
         }
         let total = self.uplinks_sent as f64 * c_l + self.probes as f64 * c_p;
-        self.comm_cost = total / (n_objects as f64 * duration);
+        let client_time = n_objects as f64 * duration;
+        self.comm_cost = if client_time > 0.0 { total / client_time } else { 0.0 };
         self.comm_cost_per_distance =
             if self.total_distance > 0.0 { total / self.total_distance } else { 0.0 };
     }
@@ -123,6 +126,20 @@ mod tests {
         // total = 100 + 60 = 160; per client-tu = 160/100 = 1.6
         assert!((m.comm_cost - 1.6).abs() < 1e-12);
         assert!((m.comm_cost_per_distance - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_cost_degenerate_runs_stay_finite() {
+        // Zero duration and zero objects must not divide to NaN or ∞.
+        let mut m = RunMetrics { uplinks: 5, probes: 2, ..Default::default() };
+        m.finish_comm(1.0, 1.5, 0, 0.0);
+        assert_eq!(m.comm_cost, 0.0);
+        assert_eq!(m.comm_cost_per_distance, 0.0);
+        assert!(m.comm_cost.is_finite() && m.comm_cost_per_distance.is_finite());
+
+        let mut m = RunMetrics { uplinks: 5, ..Default::default() };
+        m.finish_comm(1.0, 1.5, 10, 0.0);
+        assert_eq!(m.comm_cost, 0.0);
     }
 
     #[test]

@@ -5,26 +5,20 @@
 //! for the accuracy metric (its accuracy is 1 by construction).
 
 use crate::config::SimConfig;
+use crate::harness::{finalize, make_trajectories};
 use crate::metrics::RunMetrics;
 use crate::truth::evaluate_truth;
 use crate::workload::generate_workload;
 use srb_core::QuerySpec;
 use srb_geom::Point;
-use srb_mobility::{MobilityConfig, Trajectory};
+use srb_mobility::Trajectory;
 
 /// Runs the OPT scheme: result changes are detected at ground-truth sample
 /// granularity; every object whose membership or rank changed in some query
 /// sends exactly one update per change instant.
 pub fn run_opt(cfg: &SimConfig) -> RunMetrics {
-    let mob = MobilityConfig {
-        space: cfg.space,
-        mean_speed: cfg.mean_speed,
-        mean_period: cfg.mean_period,
-    };
     let specs = generate_workload(cfg);
-    let mut trajs: Vec<Trajectory> = (0..cfg.n_objects)
-        .map(|i| Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0))
-        .collect();
+    let mut trajs: Vec<Trajectory> = make_trajectories(cfg);
 
     let mut metrics = RunMetrics::default();
     let positions0: Vec<Point> = trajs.iter_mut().map(|t| t.position(0.0)).collect();
@@ -79,17 +73,11 @@ pub fn run_opt(cfg: &SimConfig) -> RunMetrics {
         t += cfg.sample_interval;
     }
 
-    metrics.accuracy = 1.0;
     metrics.probes = 0;
     // OPT is the clairvoyant lower bound; it is defined on the reliable
     // channel (a lossy OPT would not be optimal), so sent == received.
     metrics.uplinks_sent = metrics.uplinks;
-    metrics.total_distance = (0..cfg.n_objects)
-        .map(|i| {
-            let mut tr = Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0);
-            tr.distance_traveled(0.0, cfg.duration)
-        })
-        .sum();
-    metrics.finish_comm(cfg.cost.c_l, cfg.cost.c_p, cfg.n_objects, cfg.duration);
+    // Accuracy is 1 by construction: OPT's results *define* ground truth.
+    finalize(&mut metrics, 1.0, cfg);
     metrics
 }

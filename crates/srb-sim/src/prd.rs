@@ -4,15 +4,15 @@
 //! paper describes) and reevaluates every registered query from scratch.
 //! Results are stale between rounds — the source of PRD's accuracy gap.
 
-use crate::channel::ChannelModel;
 use crate::config::SimConfig;
+use crate::harness::{finalize, make_channel, make_trajectories, score_sample};
 use crate::metrics::{AccuracyAcc, RunMetrics};
-use crate::truth::{evaluate_truth, results_match, TruthResults};
+use crate::truth::{evaluate_truth, TruthResults};
 use crate::workload::generate_workload;
 use srb_core::QuerySpec;
 use srb_geom::{Point, Rect};
 use srb_index::{RStarTree, TreeConfig};
-use srb_mobility::{MobilityConfig, Trajectory};
+use srb_mobility::Trajectory;
 use std::time::Instant;
 
 /// One PRD server round, as the paper describes it (§7.3): build a fresh
@@ -44,15 +44,8 @@ fn prd_round(positions: &[Point], queries: &[QuerySpec]) -> TruthResults {
 /// Runs the PRD scheme with update interval `t_prd`.
 pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
     assert!(t_prd > 0.0, "PRD interval must be positive");
-    let mob = MobilityConfig {
-        space: cfg.space,
-        mean_speed: cfg.mean_speed,
-        mean_period: cfg.mean_period,
-    };
     let specs = generate_workload(cfg);
-    let mut trajs: Vec<Trajectory> = (0..cfg.n_objects)
-        .map(|i| Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0))
-        .collect();
+    let mut trajs: Vec<Trajectory> = make_trajectories(cfg);
 
     let mut metrics = RunMetrics::default();
     let mut acc = AccuracyAcc::default();
@@ -60,12 +53,7 @@ pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
     // PRD has no ACK/retry protocol: a lost round update simply leaves the
     // server evaluating that client at its last delivered position until
     // the next round — the scheme's natural (and only) recovery path.
-    let mut channel = ChannelModel::new(
-        cfg.channel,
-        cfg.seed ^ super::srb::CHANNEL_SEED_XOR,
-        cfg.n_objects,
-        cfg.duration,
-    );
+    let mut channel = make_channel(cfg);
 
     // Merge round instants and sample instants into one monotone walk.
     // `current` holds the results computed at the latest round whose
@@ -121,10 +109,7 @@ pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
             // Accuracy sample.
             let positions: Vec<Point> = trajs.iter_mut().map(|tr| tr.position(t)).collect();
             let truth = evaluate_truth(&positions, &specs);
-            for ((spec, monitored), truth_row) in specs.iter().zip(current.iter()).zip(truth.iter())
-            {
-                acc.record(results_match(spec, monitored, truth_row));
-            }
+            score_sample(&mut acc, &specs, &current, &truth);
             metrics.samples += 1;
             for tr in trajs.iter_mut() {
                 tr.forget_before(t - cfg.delay - 1.0);
@@ -133,17 +118,10 @@ pub fn run_prd(cfg: &SimConfig, t_prd: f64) -> RunMetrics {
         }
     }
 
-    metrics.accuracy = acc.value();
     metrics.probes = 0;
     metrics.channel_drops = channel.dropped;
     metrics.channel_duplicates = channel.duplicates;
-    metrics.total_distance = (0..cfg.n_objects)
-        .map(|i| {
-            let mut tr = Trajectory::random_waypoint(cfg.seed, i as u64, mob, 0.0);
-            tr.distance_traveled(0.0, cfg.duration)
-        })
-        .sum();
-    metrics.finish_comm(cfg.cost.c_l, cfg.cost.c_p, cfg.n_objects, cfg.duration);
+    finalize(&mut metrics, acc.value(), cfg);
     metrics.cpu_seconds_per_tu = cpu / cfg.duration;
     metrics
 }

@@ -4,37 +4,18 @@
 //! answered with true positions, and periodic ground-truth sampling for the
 //! accuracy metric.
 
-use crate::channel::ChannelModel;
 use crate::config::SimConfig;
 use crate::events::EventQueue;
+use crate::harness::{check_tick, finalize, make_channel, mobility, score_sample, EXIT_EPS};
 use crate::metrics::{AccuracyAcc, RunMetrics};
-use crate::truth::{evaluate_truth, results_match};
+use crate::truth::evaluate_truth;
 use crate::workload::generate_workload;
 use srb_core::{
-    LocationProvider, ObjectId, QueryId, QuerySpec, SequencedUpdate, Server, ServerConfig,
+    LocationProvider, ObjectId, QueryId, QuerySpec, SequencedUpdate, ServerConfig, ShardedServer,
 };
 use srb_geom::{Point, Rect};
-use srb_mobility::{MobileClient, MobilityConfig, Trajectory};
+use srb_mobility::{MobileClient, Trajectory};
 use std::time::Instant;
-
-/// Seed-stream separator so channel faults are decorrelated from the
-/// trajectory and workload streams derived from the same master seed.
-pub(crate) const CHANNEL_SEED_XOR: u64 = 0x6c6f_7373_7921; // "lossy!"
-
-/// Minimum spacing enforced between consecutive updates of one client even
-/// when `min_reaction` is zero, to let boundary-pinned objects make
-/// geometric progress.
-const EXIT_EPS: f64 = 1e-9;
-
-/// Rounds a raw boundary-crossing time up to the next client check tick
-/// (multiples of `g`); identity when `g == 0` (instant reaction).
-fn check_tick(te: f64, g: f64) -> f64 {
-    if g > 0.0 {
-        (te / g).ceil() * g
-    } else {
-        te
-    }
-}
 
 enum Ev {
     /// A client crosses its safe-region boundary (valid if `version`
@@ -71,13 +52,11 @@ impl LocationProvider for Provider<'_> {
     }
 }
 
-/// Runs the SRB scheme and returns the aggregated metrics.
+/// Runs the SRB scheme and returns the aggregated metrics. With
+/// `cfg.shards == 1` (the default) the server is a single Figure-3.1 stack,
+/// bit-identical to the paper's setup; larger values run the sharded engine.
 pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
-    let mob = MobilityConfig {
-        space: cfg.space,
-        mean_speed: cfg.mean_speed,
-        mean_period: cfg.mean_period,
-    };
+    let mob = mobility(cfg);
     let server_cfg = ServerConfig {
         space: cfg.space,
         grid_m: cfg.grid_m,
@@ -87,9 +66,8 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
         lease: cfg.lease,
         ..Default::default()
     };
-    let mut server = Server::new(server_cfg);
-    let mut channel =
-        ChannelModel::new(cfg.channel, cfg.seed ^ CHANNEL_SEED_XOR, cfg.n_objects, cfg.duration);
+    let mut server = ShardedServer::new(server_cfg, cfg.shards);
+    let mut channel = make_channel(cfg);
     let channel_ideal = cfg.channel.is_ideal();
     // Retry timers only exist on a faulty channel; lease checks only with a
     // finite lease. On the ideal/infinite configuration neither event is
@@ -347,13 +325,16 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
                 let positions: Vec<Point> =
                     (0..cfg.n_objects).map(|i| clients[i].position(t)).collect();
                 let truth = evaluate_truth(&positions, &specs);
-                for ((qid, spec), truth_row) in queries.iter().zip(truth.iter()) {
-                    let monitored: Vec<u64> = server
-                        .results(*qid)
-                        .map(|r| r.iter().map(|o| o.0 as u64).collect())
-                        .unwrap_or_default();
-                    acc.record(results_match(spec, &monitored, truth_row));
-                }
+                let monitored: Vec<Vec<u64>> = queries
+                    .iter()
+                    .map(|(qid, _)| {
+                        server
+                            .results(*qid)
+                            .map(|r| r.iter().map(|o| o.0 as u64).collect())
+                            .unwrap_or_default()
+                    })
+                    .collect();
+                score_sample(&mut acc, &specs, &monitored, &truth);
                 metrics.samples += 1;
                 let horizon = t - cfg.delay - 1.0;
                 for c in clients.iter_mut() {
@@ -366,7 +347,6 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
     flush_batch!();
 
     // --- Finish -----------------------------------------------------------
-    metrics.accuracy = acc.value();
     let costs = server.costs();
     metrics.uplinks = costs.source_updates;
     metrics.probes = costs.probes;
@@ -384,16 +364,9 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
         // client radio pays for every transmission, so sends are charged.
         metrics.uplinks_sent = metrics.uplinks;
     }
-    metrics.total_distance = clients
-        .iter_mut()
-        .map(|c| {
-            // Recreate the trajectory to integrate the full arc length —
-            // the live one has forgotten early history.
-            let mut t = Trajectory::random_waypoint(cfg.seed, c.id as u64, mob, 0.0);
-            t.distance_traveled(0.0, cfg.duration)
-        })
-        .sum();
-    metrics.finish_comm(cfg.cost.c_l, cfg.cost.c_p, cfg.n_objects, cfg.duration);
+    // Accuracy, total distance (recreated trajectories — the live clients
+    // have forgotten early history), and the amortized comm figures.
+    finalize(&mut metrics, acc.value(), cfg);
     metrics.cpu_seconds_per_tu = cpu / cfg.duration;
     metrics.work_units_per_tu =
         (server.index_visits() as f64 + server.work().safe_regions as f64) / cfg.duration;

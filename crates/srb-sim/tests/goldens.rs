@@ -1,0 +1,71 @@
+//! Golden-metrics regression test: every deterministic `RunMetrics` field of
+//! the fixed scenario set in [`srb_sim::golden_scenarios`] must stay
+//! **bit-identical** to the values recorded from the pre-refactor
+//! (monolithic-`Server`) implementation in `golden_data/data.rs`.
+//!
+//! This is the before/after drift check for the Figure-3.1 layer
+//! decomposition and the `ShardedServer{1 shard}` substitution inside
+//! `run_srb`: any behavioral divergence — a reordered probe, a changed
+//! iteration order, an off-by-one in the harness extraction — shows up here
+//! as a failed exact comparison.
+//!
+//! Regenerate deliberately with the `dump_goldens` example only when a
+//! change is *supposed* to move the figures.
+
+use srb_sim::{golden_scenarios, run_scheme};
+
+/// One recorded scenario outcome. Field-for-field the deterministic subset
+/// of [`srb_sim::RunMetrics`] (`cpu_seconds_per_tu` is wall-clock and
+/// excluded).
+struct Golden {
+    name: &'static str,
+    accuracy: f64,
+    uplinks: u64,
+    probes: u64,
+    uplinks_sent: u64,
+    retransmissions: u64,
+    channel_drops: u64,
+    channel_duplicates: u64,
+    stale_seq_drops: u64,
+    lease_probes: u64,
+    regrants: u64,
+    comm_cost: f64,
+    comm_cost_per_distance: f64,
+    total_distance: f64,
+    work_units_per_tu: f64,
+    samples: u64,
+    grid_footprint: usize,
+}
+
+include!("golden_data/data.rs");
+
+#[test]
+fn scenarios_match_recorded_goldens_bit_identically() {
+    let scenarios = golden_scenarios();
+    assert_eq!(scenarios.len(), GOLDENS.len(), "scenario set and goldens out of sync");
+    for ((name, scheme, cfg), g) in scenarios.into_iter().zip(GOLDENS) {
+        assert_eq!(name, g.name, "scenario order drifted");
+        let m = run_scheme(scheme, &cfg);
+        // Exact comparisons throughout: the runs are seeded and fully
+        // deterministic, so even f64 metrics must reproduce to the bit.
+        assert_eq!(m.accuracy, g.accuracy, "{name}: accuracy");
+        assert_eq!(m.uplinks, g.uplinks, "{name}: uplinks");
+        assert_eq!(m.probes, g.probes, "{name}: probes");
+        assert_eq!(m.uplinks_sent, g.uplinks_sent, "{name}: uplinks_sent");
+        assert_eq!(m.retransmissions, g.retransmissions, "{name}: retransmissions");
+        assert_eq!(m.channel_drops, g.channel_drops, "{name}: channel_drops");
+        assert_eq!(m.channel_duplicates, g.channel_duplicates, "{name}: channel_duplicates");
+        assert_eq!(m.stale_seq_drops, g.stale_seq_drops, "{name}: stale_seq_drops");
+        assert_eq!(m.lease_probes, g.lease_probes, "{name}: lease_probes");
+        assert_eq!(m.regrants, g.regrants, "{name}: regrants");
+        assert_eq!(m.comm_cost, g.comm_cost, "{name}: comm_cost");
+        assert_eq!(
+            m.comm_cost_per_distance, g.comm_cost_per_distance,
+            "{name}: comm_cost_per_distance"
+        );
+        assert_eq!(m.total_distance, g.total_distance, "{name}: total_distance");
+        assert_eq!(m.work_units_per_tu, g.work_units_per_tu, "{name}: work_units_per_tu");
+        assert_eq!(m.samples, g.samples, "{name}: samples");
+        assert_eq!(m.grid_footprint, g.grid_footprint, "{name}: grid_footprint");
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end smoke test for the sharded server inside the full
+//! event-driven simulation (CI `scaling-smoke`): a 2-shard run must
+//! complete, stay deterministic, and monitor essentially as well as the
+//! single-stack run it partitions.
+//!
+//! 1-shard bit-identity is covered separately (and more strictly) by the
+//! golden tests; at 2 shards kNN safe regions become shard-local, so a
+//! just-reported candidate ranked by its exact position may drift inside
+//! its fresh region until the next trigger — accuracy is allowed a small
+//! slack but nothing more.
+
+use srb_sim::{run_srb, SimConfig};
+
+fn cfg(shards: usize) -> SimConfig {
+    SimConfig { shards, ..SimConfig::test_defaults() }
+}
+
+#[test]
+fn two_shard_sim_completes_and_monitors_accurately() {
+    let one = run_srb(&cfg(1));
+    let two = run_srb(&cfg(2));
+
+    assert_eq!(one.accuracy, 1.0, "τ=0 single stack is exact ({one:?})");
+    assert!(
+        two.accuracy >= 0.99,
+        "2-shard monitoring must stay near-exact: {} ({two:?})",
+        two.accuracy
+    );
+    assert_eq!(two.samples, one.samples, "same sampling schedule");
+    for (name, v) in [
+        ("comm_cost", two.comm_cost),
+        ("comm_cost_per_distance", two.comm_cost_per_distance),
+        ("work_units_per_tu", two.work_units_per_tu),
+        ("cpu_seconds_per_tu", two.cpu_seconds_per_tu),
+    ] {
+        assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative, got {v}");
+    }
+    assert!(two.uplinks > 0 && two.grid_footprint > 0, "sharded run did real work ({two:?})");
+}
+
+#[test]
+fn sharded_sim_is_deterministic_in_the_seed() {
+    let a = run_srb(&cfg(2));
+    let b = run_srb(&cfg(2));
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.uplinks, b.uplinks);
+    assert_eq!(a.probes, b.probes);
+    assert_eq!(a.comm_cost, b.comm_cost);
+    assert_eq!(a.grid_footprint, b.grid_footprint);
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `rayon` API surface this workspace uses (see
+//! `vendor/README.md`): structured fork–join parallelism built directly on
+//! `std::thread::scope` instead of a work-stealing pool.
+//!
+//! Semantics match rayon where it matters to callers:
+//!
+//! - [`join`] runs both closures, in parallel when more than one thread is
+//!   configured, and returns both results; panics propagate.
+//! - [`scope`] spawns tasks that all complete before `scope` returns.
+//! - [`current_num_threads`] reports the configured parallelism:
+//!   `RAYON_NUM_THREADS` if set and positive, else
+//!   `std::thread::available_parallelism()`.
+//!
+//! With one configured thread everything runs inline on the caller's
+//! thread, so single-threaded executions are deterministic and
+//! allocation-order-identical to a sequential program.
+
+use std::num::NonZeroUsize;
+
+/// The number of threads structured operations may use:
+/// `RAYON_NUM_THREADS` if set to a positive integer, else the machine's
+/// available parallelism (1 if unknown).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// Like rayon's `join`, `a` runs on the current thread; `b` runs on a
+/// scoped thread when more than one thread is configured. A panic in
+/// either closure propagates to the caller after both have stopped.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A scope handle for spawning tasks that must finish before the scope
+/// ends. Thin wrapper over [`std::thread::Scope`]; with one configured
+/// thread, spawns run inline immediately.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        match self.inner {
+            Some(s) => {
+                let child = Scope { inner: Some(s) };
+                s.spawn(move || f(&child));
+            }
+            None => f(self),
+        }
+    }
+}
+
+/// Creates a scope in which tasks can be spawned; returns when every
+/// spawned task has completed.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    if current_num_threads() <= 1 {
+        return f(&Scope { inner: None });
+    }
+    std::thread::scope(|s| f(&Scope { inner: Some(s) }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn join_mutates_disjoint_slices() {
+        let mut v = vec![0u32; 64];
+        let (left, right) = v.split_at_mut(32);
+        join(|| left.iter_mut().for_each(|x| *x += 1), || right.iter_mut().for_each(|x| *x += 2));
+        assert!(v[..32].iter().all(|&x| x == 1));
+        assert!(v[32..].iter().all(|&x| x == 2));
+    }
+}
