@@ -60,12 +60,14 @@ impl ObjectIndex {
     /// Registers a new object: inserts its rectangle into the tree and its
     /// state into the table.
     pub fn insert(&mut self, id: ObjectId, state: ObjectState) {
+        let _span = srb_obs::span!("object_index.insert");
         self.tree.insert(id.entry(), state.safe_region);
         self.objects.set(id, state);
     }
 
     /// Removes an object from both structures, returning its last state.
     pub fn remove(&mut self, id: ObjectId) -> Option<ObjectState> {
+        let _span = srb_obs::span!("object_index.remove");
         let st = self.objects.remove(id)?;
         self.tree.remove(id.entry());
         Some(st)
@@ -78,6 +80,10 @@ impl ObjectIndex {
     /// by [`install_region`](Self::install_region) at the end of the
     /// operation).
     pub fn pin_to_point(&mut self, id: ObjectId, pos: Point) {
+        // Deliberately span-free: this runs once per report and takes well
+        // under a microsecond, so a wall-clock span would cost more than
+        // the work it measures. The tree-side counters/histograms in
+        // `srb-index` cover this path.
         self.tree.update(id.entry(), Rect::point(pos));
     }
 
@@ -85,6 +91,7 @@ impl ObjectIndex {
     /// rewrites the state with the new anchor `pos` at time `now`,
     /// preserving the accepted sequence number.
     pub fn install_region(&mut self, id: ObjectId, pos: Point, sr: Rect, now: f64) {
+        // Span-free for the same reason as `pin_to_point`.
         self.tree.update(id.entry(), sr);
         let last_seq = self.objects.get(id).map(|s| s.last_seq).unwrap_or(0);
         self.objects.set(id, ObjectState { p_lst: pos, t_lst: now, safe_region: sr, last_seq });

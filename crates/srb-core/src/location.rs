@@ -134,6 +134,7 @@ impl LocationManager {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, Rect)> {
+        let _span = srb_obs::span!("location.recompute_safe_regions");
         let mut out: Vec<(ObjectId, Rect)> = Vec::with_capacity(exact.len());
         // Worklist in deterministic (id) order. Recomputing one object's
         // ring can probe a conflicting neighbor (see

@@ -131,6 +131,7 @@ impl QueryProcessor {
         spec: QuerySpec,
         space: &Rect,
     ) -> (Vec<ObjectId>, Quarantine) {
+        let _span = srb_obs::span!("processor.evaluate_new");
         match spec {
             QuerySpec::Range { rect } => (evaluate_range(ctx, &rect), Quarantine::Rect(rect)),
             QuerySpec::Knn { center, k, order_sensitive } => {
@@ -157,6 +158,7 @@ impl QueryProcessor {
         p_lst: Point,
         space: &Rect,
     ) -> Option<Vec<ObjectId>> {
+        let _span = srb_obs::span!("processor.reevaluate");
         let mut qs = self.queries.get_mut(qid.index())?.take()?;
         let old_bbox = qs.quarantine.bbox();
         let outcome = reevaluate(ctx, &mut qs, oid, pos, p_lst, space);
@@ -185,6 +187,9 @@ impl QueryProcessor {
             let pos = *ctx.exact.get(&id).expect("mover is exact");
             return self.reevaluate_single(ctx, qid, id, pos, prev[&id], space);
         }
+        // Delegated single-mover calls are timed inside reevaluate_single;
+        // opening the span after the delegation keeps counts one-per-call.
+        let _span = srb_obs::span!("processor.reevaluate");
         let mut qs = self.queries.get_mut(qid.index())?.take()?;
         let old_bbox = qs.quarantine.bbox();
         let outcome = reevaluate_multi(ctx, &mut qs, movers, prev, space);

@@ -45,6 +45,8 @@ pub(crate) fn compute_safe_region(
         }
         _ => Box::new(ClearanceObjective::new(OrdinaryPerimeter, pos, scale)),
     };
+    srb_obs::counter!("safe_region.computations").inc();
+    srb_obs::histogram!("safe_region.relevant_queries").record(grid.queries_at(pos).len() as u64);
     let mut sr = cell;
     let mut range_blocks: Vec<Rect> = Vec::new();
 
@@ -118,10 +120,13 @@ fn sr_for_query(
             if rect.contains_point(pos) {
                 // Result object: the quarantine area itself is the best safe
                 // region (§5.1).
+                srb_obs::counter!("safe_region.case.range_result").inc();
                 SrQ::Rect(*rect)
             } else if rect.intersects(cell) {
+                srb_obs::counter!("safe_region.case.range_block").inc();
                 SrQ::RangeBlock(*rect)
             } else {
+                srb_obs::counter!("safe_region.case.range_clear").inc();
                 SrQ::Whole
             }
         }
@@ -130,6 +135,7 @@ fn sr_for_query(
             match qs.result_rank(oid) {
                 None => {
                     // Non-result: stay outside the quarantine circle (§5.2).
+                    srb_obs::counter!("safe_region.case.knn_nonresult").inc();
                     match irlp_circle_complement(c, pos, cell, objective) {
                         Some(r) => SrQ::Rect(r),
                         None => SrQ::Rect(Rect::point(pos)),
@@ -138,6 +144,7 @@ fn sr_for_query(
                 Some(i) if !*order_sensitive => {
                     let _ = i;
                     // Order-insensitive result: stay inside the circle.
+                    srb_obs::counter!("safe_region.case.knn_result_circle").inc();
                     match irlp_circle(c, pos, cell, objective) {
                         Some(r) => SrQ::Rect(r),
                         None => SrQ::Rect(Rect::point(pos)),
@@ -146,6 +153,7 @@ fn sr_for_query(
                 Some(i) => {
                     // Order-sensitive result: stay between the neighbors
                     // (§5.2, ring). i is 0-based; the paper's index is i+1.
+                    srb_obs::counter!("safe_region.case.knn_result_ring").inc();
                     let d = pos.dist(q);
                     let inner = if i == 0 {
                         0.0
@@ -220,6 +228,7 @@ fn neighbor_bound(ctx: &mut EvalCtx<'_>, o: ObjectId, q: Point, pos: Point, inne
         }
     }
     ctx.work.probes_neighbor += 1;
+    srb_obs::counter!("safe_region.neighbor_probes").inc();
     let pt = ctx.probe(o);
     (pt.dist(q) + d) * 0.5
 }

@@ -208,6 +208,7 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Result<Rect, ServerError> {
+        let _span = srb_obs::span!("server.add_object");
         if self.index.get(id).is_some() {
             return Err(ServerError::DuplicateObject(id));
         }
@@ -311,6 +312,7 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> RegisterResponse {
+        let _span = srb_obs::span!("server.register_query");
         let mut exact: HashMap<ObjectId, Point> = HashMap::new();
         let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
         let space = self.config.space;
@@ -369,6 +371,7 @@ impl Server {
     ) -> Result<UpdateResponse, ServerError> {
         let st = self.index.get_mut(id).ok_or(ServerError::UnknownObject(id))?;
         st.last_seq += 1;
+        srb_obs::counter!("server.updates").inc();
         self.costs.source_updates += 1;
         Ok(self.process_report(id, pos, provider, now))
     }
@@ -419,10 +422,15 @@ impl Server {
         let mut regrant_ids: Vec<ObjectId> = Vec::new();
         for u in updates {
             match self.index.get_mut(u.id) {
-                None => self.work.unknown_object_drops += 1,
+                None => {
+                    self.work.unknown_object_drops += 1;
+                    srb_obs::counter!("server.unknown_object_drops").inc();
+                }
                 Some(st) if u.seq <= st.last_seq => {
                     self.work.stale_seq_drops += 1;
                     self.work.regrants += 1;
+                    srb_obs::counter!("server.stale_seq_drops").inc();
+                    srb_obs::counter!("server.regrants").inc();
                     regrant_ids.push(u.id);
                 }
                 Some(st) => {
@@ -460,6 +468,8 @@ impl Server {
         if updates.is_empty() {
             return Vec::new();
         }
+        let _span = srb_obs::span!("server.update_batch");
+        srb_obs::counter!("server.updates").add(updates.len() as u64);
         self.costs.source_updates += updates.len() as u64;
         if updates.len() == 1 {
             let (id, pos) = updates[0];
@@ -547,6 +557,10 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> UpdateResponse {
+        // No span here: this is the per-report hot path, and its envelope is
+        // already timed per batch by `server.update_batch` (and within it by
+        // `location.recompute_safe_regions`, where the time actually goes).
+        // A per-report span measurably distorts the scaling workload.
         let st = *self.index.get(id).expect("unknown object");
         let p_lst = st.p_lst;
 
@@ -627,6 +641,7 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
+        let _span = srb_obs::span!("server.process_deferred");
         let mut out = Vec::new();
         while let Some(d) = self.location.pop_due(self.index.objects(), now) {
             let pos = provider.probe(d.oid);

@@ -73,18 +73,26 @@ impl<P: SyncProvider + ?Sized> LocationProvider for SyncAdapter<'_, P> {
     }
 }
 
+/// Parses an `SRB_THREADS` value: `Some(n)` for a positive integer
+/// (surrounding whitespace tolerated), `None` for everything else —
+/// absent, empty, zero, negative, or non-numeric values all fall back to
+/// the default so a misconfigured environment can never request zero
+/// workers.
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 /// The number of threads the batch fan-out may use: the `SRB_THREADS`
 /// environment variable if set to a positive integer, else rayon's
 /// configured parallelism (`RAYON_NUM_THREADS` / available cores).
+/// `SRB_THREADS=0` and unparsable values are rejected, not honored.
+/// The resolved count is published on the `sharded.threads` gauge.
 pub fn configured_threads() -> usize {
-    if let Ok(v) = std::env::var("SRB_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    rayon::current_num_threads()
+    let var = std::env::var("SRB_THREADS");
+    let resolved =
+        parse_threads(var.as_deref().ok()).unwrap_or_else(rayon::current_num_threads).max(1);
+    srb_obs::gauge!("sharded.threads").set(resolved as u64);
+    resolved
 }
 
 /// A server of servers: `N` shard-local [`Server`] stacks behind one
@@ -106,6 +114,10 @@ pub struct ShardedServer {
     /// Explicit thread-count override; `None` defers to
     /// [`configured_threads`].
     threads: Option<usize>,
+    /// Per-shard batch-duration histograms (`sharded.shard{i}.batch_ns`),
+    /// resolved once at construction so the hot path never touches the
+    /// registry lock.
+    shard_batch_ns: Vec<&'static srb_obs::Histogram>,
 }
 
 impl ShardedServer {
@@ -113,6 +125,7 @@ impl ShardedServer {
     /// configured identically.
     pub fn new(config: ServerConfig, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
+        srb_obs::gauge!("sharded.shards").set(shards as u64);
         ShardedServer {
             shards: (0..shards).map(|_| Server::new(config)).collect(),
             owner: Vec::new(),
@@ -120,6 +133,9 @@ impl ShardedServer {
             merged: Vec::new(),
             coord_work: WorkStats::default(),
             threads: None,
+            shard_batch_ns: (0..shards)
+                .map(|i| srb_obs::registry().histogram(&format!("sharded.shard{i}.batch_ns")))
+                .collect(),
             config,
         }
     }
@@ -432,11 +448,21 @@ impl ShardedServer {
         }
         let batches = self.partition(updates);
         let mut responses = Vec::new();
-        for (shard, batch) in self.shards.iter_mut().zip(&batches) {
-            if !batch.is_empty() {
-                responses.extend(shard.handle_sequenced_updates(batch, provider, now));
+        let mut durations: Vec<u64> = Vec::new();
+        {
+            let _span = srb_obs::span!("sharded.fan_out");
+            for (i, (shard, batch)) in self.shards.iter_mut().zip(&batches).enumerate() {
+                if !batch.is_empty() {
+                    let watch = srb_obs::Stopwatch::start();
+                    responses.extend(shard.handle_sequenced_updates(batch, provider, now));
+                    if let Some(ns) = watch.elapsed_ns() {
+                        self.shard_batch_ns[i].record(ns);
+                        durations.push(ns);
+                    }
+                }
             }
         }
+        record_straggler_gap(&durations);
         self.finish_batch(responses, provider, now)
     }
 
@@ -457,18 +483,37 @@ impl ShardedServer {
             return self.shards[0].handle_sequenced_updates(updates, &mut adapter, now);
         }
         let batches = self.partition(updates);
-        let shard_responses = if self.threads() <= 1 {
-            self.shards
-                .iter_mut()
-                .zip(&batches)
-                .map(|(shard, batch)| {
-                    let mut adapter = SyncAdapter(provider);
-                    shard.handle_sequenced_updates(batch, &mut adapter, now)
+        let mut durations: Vec<u64> = Vec::new();
+        let shard_responses: Vec<Vec<(ObjectId, UpdateResponse)>> = {
+            let _span = srb_obs::span!("sharded.fan_out");
+            let timed = if self.threads() <= 1 {
+                self.shards
+                    .iter_mut()
+                    .zip(&batches)
+                    .map(|(shard, batch)| {
+                        let watch = srb_obs::Stopwatch::start();
+                        let mut adapter = SyncAdapter(provider);
+                        let resp = shard.handle_sequenced_updates(batch, &mut adapter, now);
+                        let ns = if batch.is_empty() { None } else { watch.elapsed_ns() };
+                        (resp, ns)
+                    })
+                    .collect()
+            } else {
+                fan_out(&mut self.shards, &batches, provider, now)
+            };
+            timed
+                .into_iter()
+                .enumerate()
+                .map(|(i, (resp, ns))| {
+                    if let Some(ns) = ns {
+                        self.shard_batch_ns[i].record(ns);
+                        durations.push(ns);
+                    }
+                    resp
                 })
                 .collect()
-        } else {
-            fan_out(&mut self.shards, &batches, provider, now)
         };
+        record_straggler_gap(&durations);
         let responses = shard_responses.into_iter().flatten().collect();
         let mut adapter = SyncAdapter(provider);
         self.finish_batch(responses, &mut adapter, now)
@@ -506,7 +551,9 @@ impl ShardedServer {
     // ------------------------------------------------------------------
 
     fn threads(&self) -> usize {
-        self.threads.unwrap_or_else(configured_threads).max(1)
+        let t = self.threads.unwrap_or_else(configured_threads).max(1);
+        srb_obs::gauge!("sharded.threads").set(t as u64);
+        t
     }
 
     fn owner_of(&self, id: ObjectId) -> Option<usize> {
@@ -620,6 +667,7 @@ impl ShardedServer {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> (Vec<(ObjectId, Rect)>, Vec<ResultChange>) {
+        let _span = srb_obs::span!("sharded.merge");
         let mut probed: Vec<(ObjectId, Rect)> = Vec::new();
         let mut changed: BTreeMap<QueryId, Vec<ObjectId>> = BTreeMap::new();
         let mut rounds = 0usize;
@@ -648,6 +696,7 @@ impl ShardedServer {
                 changed.insert(qid, new);
             }
         }
+        srb_obs::counter!("sharded.merge_rounds").add(rounds as u64);
         let changes =
             changed.into_iter().map(|(query, results)| ResultChange { query, results }).collect();
         (probed, changes)
@@ -745,6 +794,7 @@ impl ShardedServer {
                 }
                 return out;
             };
+            srb_obs::counter!("sharded.coordinator_probes").inc();
             let pos = provider.probe(o);
             let shard = self.owner_of(o).expect("candidate objects have owners");
             let resp = self.shards[shard].ingest_probe(o, pos, provider, now);
@@ -778,19 +828,27 @@ impl ShardedServer {
     }
 }
 
+/// One shard's batch outcome: its responses plus its wall-clock batch
+/// duration (`None` for empty batches or when telemetry is off).
+type ShardBatchResult = (Vec<(ObjectId, UpdateResponse)>, Option<u64>);
+
 /// Runs each shard's batch on its own rayon task via recursive binary
-/// splitting of the (disjoint) shard slice.
+/// splitting of the (disjoint) shard slice. Each shard's wall-clock batch
+/// duration rides along with its responses.
 fn fan_out<P: SyncProvider>(
     shards: &mut [Server],
     batches: &[Vec<SequencedUpdate>],
     provider: &P,
     now: f64,
-) -> Vec<Vec<(ObjectId, UpdateResponse)>> {
+) -> Vec<ShardBatchResult> {
     match shards.len() {
         0 => Vec::new(),
         1 => {
+            let watch = srb_obs::Stopwatch::start();
             let mut adapter = SyncAdapter(provider);
-            vec![shards[0].handle_sequenced_updates(&batches[0], &mut adapter, now)]
+            let resp = shards[0].handle_sequenced_updates(&batches[0], &mut adapter, now);
+            let ns = if batches[0].is_empty() { None } else { watch.elapsed_ns() };
+            vec![(resp, ns)]
         }
         n => {
             let mid = n / 2;
@@ -806,6 +864,16 @@ fn fan_out<P: SyncProvider>(
     }
 }
 
+/// Records the gap between the slowest and fastest shard of one batch —
+/// the load-imbalance signal of the fan-out.
+fn record_straggler_gap(durations: &[u64]) {
+    if durations.len() > 1 {
+        let max = durations.iter().copied().max().unwrap_or(0);
+        let min = durations.iter().copied().min().unwrap_or(0);
+        srb_obs::histogram!("sharded.straggler_gap_ns").record(max - min);
+    }
+}
+
 /// SplitMix64 finalizer — a deterministic, well-mixed cell → shard hash.
 fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -818,6 +886,30 @@ fn splitmix64(x: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::provider::FnProvider;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads(Some("64")), Some(64));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage() {
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("-3")), None);
+        assert_eq!(parse_threads(Some("two")), None);
+        assert_eq!(parse_threads(Some("1.5")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn configured_threads_never_returns_zero() {
+        // Whatever the environment says, the fan-out must get at least one
+        // worker (SRB_THREADS=0 falls back to the rayon default).
+        assert!(configured_threads() >= 1);
+    }
 
     fn world(n: usize, seed: u64) -> Vec<Point> {
         // Deterministic pseudo-random positions in the unit square.

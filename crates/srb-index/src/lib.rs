@@ -15,7 +15,12 @@
 //!
 //! The tree is arena-allocated, entirely safe Rust, and instrumented with a
 //! node-visit counter so experiments can report deterministic work units
-//! alongside wall-clock time.
+//! alongside wall-clock time. When the `obs` feature is on (default), the
+//! tree additionally publishes per-search node-visit histograms
+//! (`index.search.visits`, `index.nn.visits`) and update-path counters
+//! (`index.update.*`, `index.splits`, `index.forced_reinserts`) through
+//! the `srb-obs` registry; telemetry only observes and never alters tree
+//! behavior.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -294,8 +299,10 @@ impl RStarTree {
         let bit = 1u64 << level.min(63);
         if !is_root && *reinserted & bit == 0 {
             *reinserted |= bit;
+            srb_obs::counter!("index.forced_reinserts").inc();
             self.forced_reinsert(node_id, reinserted);
         } else {
+            srb_obs::counter!("index.splits").inc();
             self.split_node(node_id, reinserted);
         }
     }
@@ -505,6 +512,7 @@ impl RStarTree {
     pub fn update(&mut self, id: EntryId, new_rect: Rect) -> UpdateOutcome {
         let Some(&leaf) = self.leaf_of.get(&id) else {
             self.insert(id, new_rect);
+            srb_obs::counter!("index.update.reinsert").inc();
             return UpdateOutcome::Reinserted;
         };
         let leaf_rect = self.node(leaf).rect;
@@ -516,6 +524,7 @@ impl RStarTree {
             // degrade search performance.
             self.recompute_mbr(leaf);
             self.shrink_upward(leaf);
+            srb_obs::counter!("index.update.in_place").inc();
             return UpdateOutcome::InPlace;
         }
         let parent = self.node(leaf).parent;
@@ -524,10 +533,12 @@ impl RStarTree {
             let e = entries.iter_mut().find(|e| e.id == id).expect("leaf_of consistent");
             e.rect = new_rect;
             self.recompute_mbr(leaf);
+            srb_obs::counter!("index.update.local_expand").inc();
             return UpdateOutcome::LocalExpand;
         }
         self.remove(id).expect("entry present");
         self.insert(id, new_rect);
+        srb_obs::counter!("index.update.reinsert").inc();
         UpdateOutcome::Reinserted
     }
 
@@ -546,9 +557,13 @@ impl RStarTree {
         if self.len == 0 {
             return;
         }
+        // Visits accumulate locally and flush once at the end: one histogram
+        // sample per search instead of an atomic per node.
+        let mut visited = 0u64;
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
             self.visits.set(self.visits.get() + 1);
+            visited += 1;
             let node = self.node(id);
             if !node.rect.intersects(query) {
                 continue;
@@ -564,6 +579,7 @@ impl RStarTree {
                 NodeKind::Internal(children) => stack.extend_from_slice(children),
             }
         }
+        srb_obs::histogram!("index.search.visits").record(visited);
     }
 
     /// Collects every entry intersecting `query` into a vector.
@@ -589,7 +605,7 @@ impl RStarTree {
                 kind: HeapKind::Node(self.root),
             }));
         }
-        NearestIter { tree: self, q, heap }
+        NearestIter { tree: self, q, heap, visited: 0 }
     }
 
     // ------------------------------------------------------------------
@@ -737,6 +753,17 @@ pub struct NearestIter<'a> {
     tree: &'a RStarTree,
     q: Point,
     heap: BinaryHeap<Reverse<HeapItem>>,
+    /// Node pops this browse performed; published as one histogram sample
+    /// when the iterator is dropped.
+    visited: u64,
+}
+
+impl Drop for NearestIter<'_> {
+    fn drop(&mut self) {
+        if self.visited > 0 {
+            srb_obs::histogram!("index.nn.visits").record(self.visited);
+        }
+    }
 }
 
 impl NearestIter<'_> {
@@ -759,6 +786,7 @@ impl Iterator for NearestIter<'_> {
                 }
                 HeapKind::Node(nid) => {
                     self.tree.visits.set(self.tree.visits.get() + 1);
+                    self.visited += 1;
                     match &self.tree.node(nid).kind {
                         NodeKind::Leaf(entries) => {
                             for e in entries {

@@ -68,6 +68,13 @@ pub struct SimConfig {
     /// ([`srb_core::ShardedServer`]). `1` (the default) runs the plain
     /// single-stack server bit-identically to the paper's setup.
     pub shards: usize,
+    /// When set, the SRB run appends one JSON line per ground-truth sample
+    /// to this path: `{"t": <time>, "metrics": <telemetry diff>}`, where
+    /// the diff covers the telemetry recorded since the previous sample
+    /// (see `srb_obs::Snapshot::diff`). Telemetry is process-global, so
+    /// run one simulation at a time when dumping a timeline. `None`
+    /// (default) writes nothing.
+    pub timeline: Option<&'static str>,
 }
 
 impl SimConfig {
@@ -97,6 +104,7 @@ impl SimConfig {
             lease: None,
             retry: RetryPolicy::default(),
             shards: 1,
+            timeline: None,
         }
     }
 

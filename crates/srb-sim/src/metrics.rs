@@ -79,11 +79,13 @@ pub struct AccuracyAcc {
 }
 
 impl AccuracyAcc {
-    /// Records one `(query, sample)` comparison.
+    /// Records one `(query, sample)` comparison. Counts saturate instead of
+    /// wrapping, so a pathological run degrades the figure gracefully
+    /// rather than corrupting it.
     pub fn record(&mut self, matched: bool) {
-        self.total += 1;
+        self.total = self.total.saturating_add(1);
         if matched {
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
         }
     }
 
@@ -140,6 +142,61 @@ mod tests {
         let mut m = RunMetrics { uplinks: 5, ..Default::default() };
         m.finish_comm(1.0, 1.5, 10, 0.0);
         assert_eq!(m.comm_cost, 0.0);
+    }
+
+    #[test]
+    fn accuracy_zero_matches_is_zero_not_nan() {
+        let mut a = AccuracyAcc::default();
+        for _ in 0..5 {
+            a.record(false);
+        }
+        assert_eq!(a.value(), 0.0);
+        assert!(a.value().is_finite());
+    }
+
+    #[test]
+    fn accuracy_saturates_at_u64_max() {
+        let mut a = AccuracyAcc { hits: u64::MAX, total: u64::MAX };
+        a.record(true);
+        assert_eq!(a.count(), u64::MAX, "total saturates instead of wrapping");
+        assert!((a.value() - 1.0).abs() < 1e-12);
+        // A mismatch at saturation can no longer move the ratio, but it
+        // must not wrap either.
+        a.record(false);
+        assert_eq!(a.count(), u64::MAX);
+        assert!(a.value() <= 1.0);
+    }
+
+    #[test]
+    fn comm_cost_zero_traffic_run() {
+        // A run where nothing was sent and nothing was probed: every figure
+        // is exactly zero, not NaN.
+        let mut m = RunMetrics::default();
+        m.finish_comm(1.0, 1.5, 100, 10.0);
+        assert_eq!(m.comm_cost, 0.0);
+        assert_eq!(m.comm_cost_per_distance, 0.0);
+        assert_eq!(m.uplinks_sent, 0);
+    }
+
+    #[test]
+    fn comm_cost_zero_duration_with_positive_distance() {
+        // Degenerate duration but real movement: the per-client-time figure
+        // collapses to zero while the per-distance figure stays meaningful.
+        let mut m =
+            RunMetrics { uplinks: 10, probes: 4, total_distance: 4.0, ..Default::default() };
+        m.finish_comm(1.0, 1.5, 10, 0.0);
+        assert_eq!(m.comm_cost, 0.0);
+        assert!((m.comm_cost_per_distance - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_comm_backfills_sent_from_accepted() {
+        // Reliable-channel callers leave uplinks_sent at 0; finish_comm
+        // backfills it so the cost formula charges the accepted updates.
+        let mut m = RunMetrics { uplinks: 30, ..Default::default() };
+        m.finish_comm(1.0, 1.5, 3, 10.0);
+        assert_eq!(m.uplinks_sent, 30);
+        assert!((m.comm_cost - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -136,8 +136,11 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
 
     let mut acc = AccuracyAcc::default();
     let mut metrics = RunMetrics::default();
+    // Per-tick telemetry timeline: one JSON line per sample, holding the
+    // diff of the (process-global) registry since the previous sample.
+    let mut timeline: Option<(Vec<String>, srb_obs::Snapshot)> =
+        cfg.timeline.map(|_| (Vec::new(), srb_obs::registry().snapshot()));
 
-    let mut event_count: u64 = 0;
     // Same-instant reports are batched and handed to the server together:
     // the batch path installs every reported position before reevaluating,
     // so no query is evaluated against a stale bound of a simultaneous
@@ -176,6 +179,9 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
     macro_rules! flush_batch {
         () => {
             if !batch.is_empty() {
+                let _span = srb_obs::span!("sim.flush_batch");
+                srb_obs::counter!("sim.batches").inc();
+                srb_obs::histogram!("sim.batch_size").record(batch.len() as u64);
                 let t0 = Instant::now();
                 let resps = {
                     let mut provider =
@@ -210,10 +216,7 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
         if !batch.is_empty() && (!matches!(ev, Ev::Recv { .. }) || t > batch_t + 1e-12) {
             flush_batch!();
         }
-        event_count += 1;
-        if event_count.is_multiple_of(1_000_000) && std::env::var_os("SRB_TRACE").is_some() {
-            eprintln!("[srb-sim] {event_count} events, t = {t:.6}, queue = {}", q.len());
-        }
+        srb_obs::counter!("sim.events").inc();
         match ev {
             Ev::Exit { id, version } => {
                 let i = id as usize;
@@ -297,6 +300,7 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
                 let due = server.next_deferred_due();
                 match due {
                     Some(d) if d <= t + 1e-12 => {
+                        let _span = srb_obs::span!("sim.process_deferred");
                         let t0 = Instant::now();
                         let resps = {
                             let mut provider =
@@ -322,6 +326,7 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
                 }
             }
             Ev::Sample => {
+                let _span = srb_obs::span!("sim.sample");
                 let positions: Vec<Point> =
                     (0..cfg.n_objects).map(|i| clients[i].position(t)).collect();
                 let truth = evaluate_truth(&positions, &specs);
@@ -336,6 +341,12 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
                     .collect();
                 score_sample(&mut acc, &specs, &monitored, &truth);
                 metrics.samples += 1;
+                if let Some((lines, prev)) = timeline.as_mut() {
+                    let snap = srb_obs::registry().snapshot();
+                    let diff = snap.diff(prev);
+                    lines.push(format!("{{\"t\":{t},\"metrics\":{}}}", diff.to_json()));
+                    *prev = snap;
+                }
                 let horizon = t - cfg.delay - 1.0;
                 for c in clients.iter_mut() {
                     c.forget_before(horizon);
@@ -371,8 +382,19 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
     metrics.work_units_per_tu =
         (server.index_visits() as f64 + server.work().safe_regions as f64) / cfg.duration;
     metrics.grid_footprint = server.grid_footprint();
-    if std::env::var_os("SRB_TRACE").is_some() {
-        eprintln!("[srb-sim stats] {:?}", server.work());
+    // Mirror the end-of-run channel and recovery tallies into the registry
+    // so snapshots and timelines carry them next to the span timings.
+    srb_obs::counter!("sim.channel.drops").add(channel.dropped);
+    srb_obs::counter!("sim.channel.duplicates").add(channel.duplicates);
+    srb_obs::counter!("sim.retransmissions").add(metrics.retransmissions);
+    srb_obs::counter!("sim.regrants").add(work.regrants);
+    srb_obs::counter!("sim.lease_probes").add(work.lease_probes);
+    if let (Some(path), Some((lines, _))) = (cfg.timeline, timeline) {
+        let mut body = lines.join("\n");
+        body.push('\n');
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("[srb-sim] failed to write timeline {path}: {e}");
+        }
     }
     metrics
 }

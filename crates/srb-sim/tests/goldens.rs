@@ -12,7 +12,7 @@
 //! Regenerate deliberately with the `dump_goldens` example only when a
 //! change is *supposed* to move the figures.
 
-use srb_sim::{golden_scenarios, run_scheme};
+use srb_sim::{golden_scenarios, run_scheme, RunMetrics};
 
 /// One recorded scenario outcome. Field-for-field the deterministic subset
 /// of [`srb_sim::RunMetrics`] (`cpu_seconds_per_tu` is wall-clock and
@@ -67,5 +67,44 @@ fn scenarios_match_recorded_goldens_bit_identically() {
         assert_eq!(m.work_units_per_tu, g.work_units_per_tu, "{name}: work_units_per_tu");
         assert_eq!(m.samples, g.samples, "{name}: samples");
         assert_eq!(m.grid_footprint, g.grid_footprint, "{name}: grid_footprint");
+    }
+}
+
+/// Asserts every deterministic `RunMetrics` field is bit-identical between
+/// two runs of the same scenario.
+fn assert_deterministic_fields_eq(name: &str, a: &RunMetrics, b: &RunMetrics) {
+    assert_eq!(a.accuracy, b.accuracy, "{name}: accuracy");
+    assert_eq!(a.uplinks, b.uplinks, "{name}: uplinks");
+    assert_eq!(a.probes, b.probes, "{name}: probes");
+    assert_eq!(a.uplinks_sent, b.uplinks_sent, "{name}: uplinks_sent");
+    assert_eq!(a.retransmissions, b.retransmissions, "{name}: retransmissions");
+    assert_eq!(a.channel_drops, b.channel_drops, "{name}: channel_drops");
+    assert_eq!(a.channel_duplicates, b.channel_duplicates, "{name}: channel_duplicates");
+    assert_eq!(a.stale_seq_drops, b.stale_seq_drops, "{name}: stale_seq_drops");
+    assert_eq!(a.lease_probes, b.lease_probes, "{name}: lease_probes");
+    assert_eq!(a.regrants, b.regrants, "{name}: regrants");
+    assert_eq!(a.comm_cost, b.comm_cost, "{name}: comm_cost");
+    assert_eq!(a.comm_cost_per_distance, b.comm_cost_per_distance, "{name}: comm_cost/dist");
+    assert_eq!(a.total_distance, b.total_distance, "{name}: total_distance");
+    assert_eq!(a.work_units_per_tu, b.work_units_per_tu, "{name}: work_units_per_tu");
+    assert_eq!(a.samples, b.samples, "{name}: samples");
+    assert_eq!(a.grid_footprint, b.grid_footprint, "{name}: grid_footprint");
+}
+
+/// Telemetry must be an observer, never an actor: running the same scenario
+/// with the runtime recorder enabled and disabled must produce bit-identical
+/// figures. Covers the ideal-channel default scenario and the lossy/lease
+/// one (whose retransmission machinery is the most timing-adjacent code).
+#[test]
+fn telemetry_toggle_leaves_figures_bit_identical() {
+    let scenarios = golden_scenarios();
+    for idx in [0usize, 5] {
+        let (name, scheme, cfg) = scenarios[idx];
+        srb_obs::set_enabled(true);
+        let on = run_scheme(scheme, &cfg);
+        srb_obs::set_enabled(false);
+        let off = run_scheme(scheme, &cfg);
+        srb_obs::set_enabled(true);
+        assert_deterministic_fields_eq(name, &on, &off);
     }
 }

@@ -12,7 +12,10 @@
 //!   queries, quarantine areas, safe regions, probes (§3–§6);
 //! - [`mobility`] — random-waypoint trajectories and client logic (§7.1);
 //! - [`sim`] — the discrete event-driven simulator and the SRB/OPT/PRD
-//!   schemes of the paper's evaluation (§7).
+//!   schemes of the paper's evaluation (§7);
+//! - [`obs`] — the zero-overhead telemetry layer (counters, histograms,
+//!   spans) wired through every layer above; compiled out entirely when
+//!   the default `obs` cargo feature is disabled.
 //!
 //! ## Quickstart
 //!
@@ -44,4 +47,5 @@ pub use srb_core as core;
 pub use srb_geom as geom;
 pub use srb_index as index;
 pub use srb_mobility as mobility;
+pub use srb_obs as obs;
 pub use srb_sim as sim;
