@@ -1,0 +1,268 @@
+//! `mem` — memory-plane benchmark for the allocation-free batch path.
+//!
+//! Drives the same rotating-movers update workload as `scaling`/`micro`
+//! through the *sequential* batch engine twice per configuration:
+//!
+//! - **cold**: `drop_scratch_capacity()` before every batch, so each batch
+//!   rebuilds its maps and vectors from nothing — the behavior before the
+//!   scratch-arena refactor;
+//! - **steady**: the normal path, where the `BatchScratch`/`CoordScratch`
+//!   arenas and the caller's response buffer are cleared and reused.
+//!
+//! A counting global allocator reports heap allocations per batch for both
+//! modes (steady must be 0 after warmup — pinned separately by the
+//! `alloc_steady` test), and the throughput delta is the refactor's win.
+//! Rows land in `BENCH_mem.json` at the repo root.
+
+use srb_bench::{figure_header, full_scale};
+use srb_core::{
+    FnProvider, ObjectId, SequencedUpdate, ServerConfig, ShardedServer, UpdateResponse,
+};
+use srb_geom::Point;
+use srb_sim::{generate_workload, SimConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Updates pushed through the timed window of each mode, independent of
+/// batch size (so every row is comparable and small batches get enough
+/// rounds to rise above timer noise).
+const TARGET_UPDATES: u64 = 20_000;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pos_of(seed: u64, obj: u64, round: u64) -> Point {
+    let h = splitmix64(seed ^ obj.wrapping_mul(0x9E37_79B9) ^ (round << 40));
+    let x = (h >> 32) as f64 / u32::MAX as f64;
+    let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
+    Point::new(x.clamp(0.0, 1.0), y.clamp(0.0, 1.0))
+}
+
+#[derive(Clone)]
+struct ModeResult {
+    updates: u64,
+    seconds: f64,
+    allocs: u64,
+}
+
+impl ModeResult {
+    fn throughput(&self) -> f64 {
+        self.updates as f64 / self.seconds.max(1e-12)
+    }
+
+    fn allocs_per_update(&self) -> f64 {
+        self.allocs as f64 / self.updates.max(1) as f64
+    }
+}
+
+/// Builds a populated server and pushes ~[`TARGET_UPDATES`] through the
+/// sequential batch path in batches of `n_objects / groups` movers (a
+/// rotating cohort; `groups == n_objects` exercises the single-report
+/// path). `cold` drops every scratch capacity before each batch — the
+/// allocate-per-batch behavior this refactor removed.
+fn run_mode(
+    shards: usize,
+    n_objects: usize,
+    groups: u64,
+    sim: &SimConfig,
+    cold: bool,
+) -> ModeResult {
+    let batch_size = (n_objects as u64 / groups).max(1);
+    let rounds = (TARGET_UPDATES / batch_size).max(1);
+    let warmup = (rounds / 10).max(10);
+    let server_cfg = ServerConfig {
+        space: sim.space,
+        grid_m: sim.grid_m,
+        max_speed: Some(sim.mean_speed * 4.0),
+        ..ServerConfig::default()
+    };
+    let mut server = ShardedServer::new(server_cfg, shards);
+
+    let seed = sim.seed;
+    let mut positions: Vec<Point> = (0..n_objects).map(|i| pos_of(seed, i as u64, 0)).collect();
+    {
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        for (i, &p) in snapshot.iter().enumerate() {
+            server
+                .add_object(ObjectId(i as u32), p, &mut provider, 0.0)
+                .expect("fresh object ids are unique");
+        }
+        let specs = generate_workload(&SimConfig { n_objects, ..*sim });
+        for spec in specs {
+            server.register_query(spec, &mut provider, 0.0);
+        }
+    }
+
+    let mut out: Vec<(ObjectId, UpdateResponse)> = Vec::new();
+    let mut allocs = 0u64;
+    // (nanoseconds, updates) per timed round; the tail of the sorted list is
+    // trimmed before summing so rounds poisoned by scheduler preemption
+    // don't drown the signal.
+    let mut samples: Vec<(u64, u64)> = Vec::new();
+    for round in 1..=warmup + rounds {
+        let movers: Vec<ObjectId> = (0..n_objects)
+            .filter(|i| (*i as u64) % groups == round % groups)
+            .map(|i| ObjectId(i as u32))
+            .collect();
+        for &id in &movers {
+            // Local jitter (the micro update workload): each mover drifts a
+            // little and reports, instead of teleporting across the space —
+            // result churn stays realistic and the batch plumbing dominates.
+            let h = splitmix64(seed ^ (id.0 as u64) << 20 ^ round);
+            let dx = ((h >> 32) as f64 / u32::MAX as f64 - 0.5) * 0.01;
+            let dy = ((h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 - 0.5) * 0.01;
+            let p = positions[id.index()];
+            positions[id.index()] =
+                Point::new((p.x + dx).clamp(0.0, 1.0), (p.y + dy).clamp(0.0, 1.0));
+        }
+        let batch: Vec<SequencedUpdate> = movers
+            .iter()
+            .map(|&id| SequencedUpdate { id, pos: positions[id.index()], seq: round })
+            .collect();
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        let now = round as f64 * 0.1;
+        if cold {
+            server.drop_scratch_capacity();
+            out = Vec::new();
+        } else {
+            out.clear();
+        }
+        let timed = round > warmup;
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        server.handle_sequenced_updates_into(&batch, &mut provider, now, &mut out);
+        let dt = t0.elapsed().as_nanos() as u64;
+        let da = ALLOCS.load(Ordering::Relaxed) - a0;
+        assert_eq!(out.len(), batch.len(), "every mover gets a response");
+        if timed {
+            allocs += da;
+            samples.push((dt, batch.len() as u64));
+        }
+    }
+    server.check_invariants();
+    // Trimmed sum: drop the slowest 10% of rounds (preemption outliers).
+    let total_updates: u64 = samples.iter().map(|&(_, u)| u).sum();
+    samples.sort_unstable();
+    let keep = samples.len() - samples.len() / 10;
+    let (mut ns, mut updates) = (0u64, 0u64);
+    for &(dt, u) in &samples[..keep] {
+        ns += dt;
+        updates += u;
+    }
+    // Allocations are deterministic per round, so report them against the
+    // full (untrimmed) update count.
+    ModeResult {
+        updates,
+        seconds: ns as f64 / 1e9,
+        allocs: allocs * updates / total_updates.max(1),
+    }
+}
+
+fn main() {
+    let sim = srb_bench::base_config();
+    figure_header("Mem", "allocation-free batch path (cold vs steady scratch)", &sim);
+    let n_objects: usize = if full_scale() { 20_000 } else { 2_000 };
+    // (shards, rotating groups): groups = N/batch_size. The single-report
+    // rows (groups = N) are where per-operation buffer construction used to
+    // dominate; the N/10 rows amortize it over a large batch.
+    let cells: &[(usize, u64)] = &[(1, n_objects as u64), (1, 10), (4, n_objects as u64), (4, 10)];
+    println!("    target={TARGET_UPDATES} updates per mode, sequential batch path");
+
+    // Interleaved best-of-4 per mode: cold/steady runs alternate so clock
+    // drift and background load hit both modes equally, and the min
+    // wall-clock run per mode is the least-disturbed one (Criterion's
+    // lower-bound policy).
+    let best_pair = |shards: usize, groups: u64| {
+        let runs: Vec<(ModeResult, ModeResult)> = (0..4)
+            .map(|_| {
+                (
+                    run_mode(shards, n_objects, groups, &sim, true),
+                    run_mode(shards, n_objects, groups, &sim, false),
+                )
+            })
+            .collect();
+        let pick = |f: fn(&(ModeResult, ModeResult)) -> &ModeResult| {
+            runs.iter().map(f).min_by(|a, b| a.seconds.total_cmp(&b.seconds)).expect("four runs")
+        };
+        (pick(|r| &r.0).clone(), pick(|r| &r.1).clone())
+    };
+
+    let mut rows: Vec<String> = Vec::new();
+    for &(shards, groups) in cells {
+        let batch_size = (n_objects as u64 / groups).max(1);
+        let (cold, steady) = best_pair(shards, groups);
+        let speedup = steady.throughput() / cold.throughput().max(1e-12);
+        println!(
+            "N={:>7} shards={:<2} batch={:<5} cold={:>10.0} upd/s ({:>6.2} allocs/upd)  steady={:>10.0} upd/s ({:>6.2} allocs/upd)  speedup={:>5.2}x",
+            n_objects,
+            shards,
+            batch_size,
+            cold.throughput(),
+            cold.allocs_per_update(),
+            steady.throughput(),
+            steady.allocs_per_update(),
+            speedup,
+        );
+        let line = serde_json::json!({
+            "figure": "mem",
+            "series": format!("shards={shards} batch={batch_size}"),
+            "shards": shards as u64,
+            "n_objects": n_objects as u64,
+            "batch_size": batch_size,
+            "updates": steady.updates,
+            "cold_seconds": cold.seconds,
+            "cold_updates_per_sec": cold.throughput(),
+            "cold_allocs_per_update": cold.allocs_per_update(),
+            "steady_seconds": steady.seconds,
+            "steady_updates_per_sec": steady.throughput(),
+            "steady_allocs_per_update": steady.allocs_per_update(),
+            "speedup_steady_vs_cold": speedup,
+        });
+        println!("JSON {line}");
+        rows.push(line.to_string());
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mem.json");
+    let body = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    match std::fs::write(path, body) {
+        Ok(()) => println!("\nwrote {}", path),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

@@ -11,10 +11,10 @@ use crate::ids::ObjectId;
 use crate::object::ObjectTable;
 use crate::provider::{CostTracker, LocationProvider, WorkStats};
 use srb_geom::{Circle, Point, Rect};
+use srb_hash::FastMap;
 use srb_index::{NearestIter, RStarTree};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 /// Everything an evaluation needs from the server, bundled to keep borrows
 /// manageable. `exact` accumulates every exactly-known location of the
@@ -24,7 +24,7 @@ use std::collections::HashMap;
 pub(crate) struct EvalCtx<'a> {
     pub tree: &'a RStarTree,
     pub objects: &'a ObjectTable,
-    pub exact: &'a mut HashMap<ObjectId, Point>,
+    pub exact: &'a mut FastMap<ObjectId, Point>,
     pub provider: &'a mut dyn LocationProvider,
     pub costs: &'a mut CostTracker,
     pub work: &'a mut WorkStats,
@@ -44,7 +44,7 @@ pub(crate) struct EvalCtx<'a> {
 pub(crate) struct ReadCtx<'a> {
     pub tree: &'a RStarTree,
     pub objects: &'a ObjectTable,
-    pub exact: &'a HashMap<ObjectId, Point>,
+    pub exact: &'a FastMap<ObjectId, Point>,
     pub max_speed: Option<f64>,
     pub now: f64,
 }

@@ -58,6 +58,7 @@ mod provider;
 mod query;
 mod reeval;
 mod safe_region;
+mod scratch;
 mod server;
 mod sharded;
 
@@ -68,7 +69,7 @@ pub use grid::{Cell, GridIndex};
 pub use ids::{ObjectId, QueryId};
 pub use index::ObjectIndex;
 pub use location::LocationManager;
-pub use object::{ObjectState, ObjectTable};
+pub use object::{ObjectSlot, ObjectState, ObjectTable};
 pub use processor::QueryProcessor;
 pub use provider::{CostModel, CostTracker, FnProvider, LocationProvider, NoProbe, WorkStats};
 pub use query::{Quarantine, QuerySpec, QueryState, ResultChange};

@@ -16,8 +16,9 @@ use crate::processor::QueryProcessor;
 use crate::provider::{CostTracker, LocationProvider, WorkStats};
 use crate::safe_region::compute_safe_region;
 use srb_geom::{Point, Rect};
+use srb_hash::FastMap;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Why a deferred timer entry exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +79,7 @@ impl LocationManager {
     pub(crate) fn absorb_deferred(
         &mut self,
         scratch: &mut Vec<(ObjectId, f64)>,
-        exact: &HashMap<ObjectId, Point>,
+        exact: &FastMap<ObjectId, Point>,
         objects: &ObjectTable,
     ) {
         for (oid, due) in scratch.drain(..) {
@@ -120,7 +121,8 @@ impl LocationManager {
     /// Recomputes and installs safe regions for every exactly-known object
     /// of the current server operation (Algorithm 1, lines 14-15), and
     /// schedules a lease-expiry probe per region when leases are enabled.
-    /// Returns the new regions.
+    /// Appends the new regions to `out` (a reused scratch buffer the caller
+    /// clears beforehand, so steady-state batches allocate nothing here).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn recompute_safe_regions(
         &mut self,
@@ -129,13 +131,14 @@ impl LocationManager {
         processor: &QueryProcessor,
         costs: &mut CostTracker,
         work: &mut WorkStats,
-        exact: &mut HashMap<ObjectId, Point>,
+        exact: &mut FastMap<ObjectId, Point>,
         scratch: &mut Vec<(ObjectId, f64)>,
+        out: &mut Vec<(ObjectId, Rect)>,
         provider: &mut dyn LocationProvider,
         now: f64,
-    ) -> Vec<(ObjectId, Rect)> {
+    ) {
         let _span = srb_obs::span!("location.recompute_safe_regions");
-        let mut out: Vec<(ObjectId, Rect)> = Vec::with_capacity(exact.len());
+        debug_assert!(out.is_empty(), "caller clears the recompute buffer");
         // Worklist in deterministic (id) order. Recomputing one object's
         // ring can probe a conflicting neighbor (see
         // `safe_region::neighbor_bound`), which inserts it into `exact` —
@@ -186,7 +189,6 @@ impl LocationManager {
             }
             out.push((oid, sr));
         }
-        out
     }
 }
 
@@ -206,7 +208,7 @@ mod tests {
     fn absorb_skips_exact_and_unknown_objects() {
         let mut lm = LocationManager::new();
         let objects = table_with(ObjectId(1), 0.0);
-        let mut exact = HashMap::new();
+        let mut exact = FastMap::default();
         exact.insert(ObjectId(2), Point::new(0.1, 0.1));
         let mut scratch = vec![(ObjectId(1), 5.0), (ObjectId(2), 1.0), (ObjectId(9), 2.0)];
         lm.absorb_deferred(&mut scratch, &exact, &objects);
@@ -219,7 +221,7 @@ mod tests {
     fn stale_entries_are_dropped_lazily() {
         let mut lm = LocationManager::new();
         let mut objects = table_with(ObjectId(3), 0.0);
-        lm.absorb_deferred(&mut vec![(ObjectId(3), 2.0)], &HashMap::new(), &objects);
+        lm.absorb_deferred(&mut vec![(ObjectId(3), 2.0)], &FastMap::default(), &objects);
         assert_eq!(lm.next_due(&objects), Some(2.0));
         // A later contact bumps t_lst and invalidates the entry.
         objects.get_mut(ObjectId(3)).unwrap().t_lst = 1.0;
@@ -230,7 +232,7 @@ mod tests {
     fn pop_due_respects_now() {
         let mut lm = LocationManager::new();
         let objects = table_with(ObjectId(4), 0.0);
-        lm.absorb_deferred(&mut vec![(ObjectId(4), 3.0)], &HashMap::new(), &objects);
+        lm.absorb_deferred(&mut vec![(ObjectId(4), 3.0)], &FastMap::default(), &objects);
         assert!(lm.pop_due(&objects, 2.9).is_none());
         let d = lm.pop_due(&objects, 3.0).expect("due now");
         assert_eq!(d.oid, ObjectId(4));

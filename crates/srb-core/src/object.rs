@@ -1,8 +1,17 @@
 //! Per-object server-side state: the safe region, the last reported
 //! location, and its timestamp (needed by the reachability circle, §6.1).
+//!
+//! Storage is a dense generational slab: states live contiguously in slot
+//! order, an `ObjectId -> slot` map (shared fast hasher, see `srb-hash`)
+//! resolves lookups in one multiply-hash probe, and freed slots are recycled
+//! through a free list with a bumped generation so a stale [`ObjectSlot`]
+//! handle can never observe a different object that later reused the slot.
+//! Steady-state report handling (`get`/`get_mut`/`set` of existing ids)
+//! performs no heap allocation.
 
 use crate::ids::ObjectId;
 use srb_geom::{Point, Rect};
+use srb_hash::FastMap;
 
 /// What the server knows about one moving object.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,11 +29,41 @@ pub struct ObjectState {
     pub last_seq: u64,
 }
 
-/// Dense table of object states, indexed by [`ObjectId`].
+/// Compact generational handle to a slot in an [`ObjectTable`].
+///
+/// The generation is bumped every time a slot is freed, so a handle taken
+/// before a `remove` never resolves against whatever object reuses the slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ObjectSlot {
+    idx: u32,
+    gen: u32,
+}
+
+impl ObjectSlot {
+    /// Dense slot index (useful for sizing side tables).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+
+    /// Reuse generation of the slot at the time the handle was taken.
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    gen: u32,
+    occupant: Option<(ObjectId, ObjectState)>,
+}
+
+/// Dense generational slab of object states keyed by [`ObjectId`].
 #[derive(Clone, Debug, Default)]
 pub struct ObjectTable {
-    states: Vec<Option<ObjectState>>,
-    len: usize,
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    slot_of: FastMap<ObjectId, u32>,
+    high_water: usize,
 }
 
 impl ObjectTable {
@@ -35,52 +74,100 @@ impl ObjectTable {
 
     /// Number of registered objects.
     pub fn len(&self) -> usize {
-        self.len
+        self.slot_of.len()
     }
 
     /// True when no objects are registered.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.slot_of.is_empty()
+    }
+
+    /// Most objects ever registered at once (process-lifetime high-water).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Registers or replaces an object's state.
     pub fn set(&mut self, id: ObjectId, state: ObjectState) {
-        let idx = id.index();
-        if idx >= self.states.len() {
-            self.states.resize(idx + 1, None);
+        if let Some(&idx) = self.slot_of.get(&id) {
+            // Replace in place; the slot keeps its generation while occupied.
+            self.entries[idx as usize].occupant = Some((id, state));
+            return;
         }
-        if self.states[idx].is_none() {
-            self.len += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.entries[idx as usize].occupant = Some((id, state));
+                idx
+            }
+            None => {
+                let idx = self.entries.len() as u32;
+                self.entries.push(Entry { gen: 0, occupant: Some((id, state)) });
+                idx
+            }
+        };
+        self.slot_of.insert(id, idx);
+        if self.slot_of.len() > self.high_water {
+            self.high_water = self.slot_of.len();
+            srb_obs::gauge!("objects.slab_high_water").set(self.high_water as u64);
         }
-        self.states[idx] = Some(state);
+        srb_obs::gauge!("objects.slab_occupancy").set(self.slot_of.len() as u64);
     }
 
     /// The state of `id`, if registered.
     pub fn get(&self, id: ObjectId) -> Option<&ObjectState> {
-        self.states.get(id.index()).and_then(|s| s.as_ref())
+        let &idx = self.slot_of.get(&id)?;
+        self.entries[idx as usize].occupant.as_ref().map(|(_, st)| st)
     }
 
     /// Mutable state access.
     pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut ObjectState> {
-        self.states.get_mut(id.index()).and_then(|s| s.as_mut())
+        let &idx = self.slot_of.get(&id)?;
+        self.entries[idx as usize].occupant.as_mut().map(|(_, st)| st)
     }
 
-    /// Removes an object, returning its state.
-    pub fn remove(&mut self, id: ObjectId) -> Option<ObjectState> {
-        let slot = self.states.get_mut(id.index())?;
-        let old = slot.take();
-        if old.is_some() {
-            self.len -= 1;
+    /// The generational slot handle of `id`, if registered.
+    pub fn slot(&self, id: ObjectId) -> Option<ObjectSlot> {
+        let &idx = self.slot_of.get(&id)?;
+        Some(ObjectSlot { idx, gen: self.entries[idx as usize].gen })
+    }
+
+    /// Resolves a slot handle taken earlier with [`ObjectTable::slot`].
+    ///
+    /// Returns `None` if the slot was freed since (even if another object
+    /// has reused it — the generation check rejects stale handles).
+    pub fn get_slot(&self, slot: ObjectSlot) -> Option<(ObjectId, &ObjectState)> {
+        let entry = self.entries.get(slot.idx as usize)?;
+        if entry.gen != slot.gen {
+            return None;
         }
+        entry.occupant.as_ref().map(|(id, st)| (*id, st))
+    }
+
+    /// Removes an object, returning its state. Frees the slot for reuse and
+    /// bumps its generation so outstanding handles go stale.
+    pub fn remove(&mut self, id: ObjectId) -> Option<ObjectState> {
+        let idx = self.slot_of.remove(&id)?;
+        let entry = &mut self.entries[idx as usize];
+        let old = entry.occupant.take().map(|(_, st)| st);
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free.push(idx);
+        srb_obs::gauge!("objects.slab_occupancy").set(self.slot_of.len() as u64);
         old
     }
 
-    /// Iterates over registered objects.
+    /// Iterates over registered objects in ascending-id order.
+    ///
+    /// This sorts a scratch vector of ids, so it is for cold paths only
+    /// (coherence checks, tests) — the hot paths address states through
+    /// [`ObjectTable::get`]/[`ObjectTable::get_mut`].
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &ObjectState)> {
-        self.states
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|st| (ObjectId(i as u32), st)))
+        let mut order: Vec<u32> = self.slot_of.values().copied().collect();
+        order.sort_unstable_by_key(|&idx| {
+            self.entries[idx as usize].occupant.as_ref().map(|(id, _)| id.0)
+        });
+        order.into_iter().filter_map(|idx| {
+            self.entries[idx as usize].occupant.as_ref().map(|(id, st)| (*id, st))
+        })
     }
 }
 
@@ -136,5 +223,37 @@ mod tests {
         t.set(ObjectId(2), state(0.5));
         t.get_mut(ObjectId(2)).unwrap().t_lst = 7.0;
         assert_eq!(t.get(ObjectId(2)).unwrap().t_lst, 7.0);
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut t = ObjectTable::new();
+        t.set(ObjectId(7), state(0.7));
+        let slot = t.slot(ObjectId(7)).unwrap();
+        assert_eq!(t.get_slot(slot).unwrap().0, ObjectId(7));
+
+        t.remove(ObjectId(7));
+        assert!(t.get_slot(slot).is_none(), "freed slot must invalidate handles");
+
+        // The freed slot is recycled for the next registration...
+        t.set(ObjectId(11), state(0.11));
+        let reused = t.slot(ObjectId(11)).unwrap();
+        assert_eq!(reused.index(), slot.index(), "free list should recycle the slot");
+        // ...but the old handle still must not resolve to the new occupant.
+        assert!(t.get_slot(slot).is_none(), "stale handle must not see the reused slot");
+        assert_eq!(t.get_slot(reused).unwrap().0, ObjectId(11));
+        assert!(reused.generation() > slot.generation());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut t = ObjectTable::new();
+        for i in 0..4u32 {
+            t.set(ObjectId(i), state(0.1));
+        }
+        t.remove(ObjectId(0));
+        t.remove(ObjectId(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.high_water(), 4);
     }
 }

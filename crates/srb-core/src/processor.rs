@@ -13,20 +13,35 @@ use crate::ids::{ObjectId, QueryId};
 use crate::query::{Quarantine, QuerySpec, QueryState};
 use crate::reeval::{reevaluate, reevaluate_multi};
 use srb_geom::{Circle, Point, Rect};
-use std::collections::HashMap;
+use srb_hash::FastMap;
 
 /// The query processor: registered query states plus the grid index that
 /// locates the queries a moving object can affect.
 pub struct QueryProcessor {
     /// Slot-allocated query states (`None` = free slot, ids are reused).
+    /// A [`QueryId`] *is* its slot index — the sharded engine relies on
+    /// lockstep lowest-free-id allocation across shards.
     queries: Vec<Option<QueryState>>,
+    /// Per-slot reuse generation, bumped on deregistration, so callers can
+    /// tell a reused id apart from the query that previously held it.
+    gens: Vec<u32>,
+    /// Live-query count (kept so occupancy is O(1)).
+    live: usize,
+    /// Most queries ever live at once.
+    high_water: usize,
     grid: GridIndex,
 }
 
 impl QueryProcessor {
     /// Creates an empty processor over `space` with an `m x m` grid.
     pub fn new(space: Rect, m: usize) -> Self {
-        QueryProcessor { queries: Vec::new(), grid: GridIndex::new(space, m) }
+        QueryProcessor {
+            queries: Vec::new(),
+            gens: Vec::new(),
+            live: 0,
+            high_water: 0,
+            grid: GridIndex::new(space, m),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -45,7 +60,20 @@ impl QueryProcessor {
 
     /// Number of registered queries.
     pub fn count(&self) -> usize {
-        self.queries.iter().filter(|q| q.is_some()).count()
+        self.live
+    }
+
+    /// Most queries ever registered at once (process-lifetime high-water).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Reuse generation of a query slot: how many times the slot has been
+    /// freed. A reused id carries a higher generation than its predecessor,
+    /// which the churn tests use to prove a dead query's results can never
+    /// be resurrected through slot reuse.
+    pub fn generation(&self, id: QueryId) -> Option<u32> {
+        self.gens.get(id.index()).copied()
     }
 
     /// Iterates over the registered query ids.
@@ -81,6 +109,7 @@ impl QueryProcessor {
             }
         }
         self.queries.push(None);
+        self.gens.push(0);
         QueryId((self.queries.len() - 1) as u32)
     }
 
@@ -88,17 +117,27 @@ impl QueryProcessor {
     /// its quarantine in the grid.
     pub fn install(&mut self, id: QueryId, qs: QueryState) {
         self.grid.insert(id, &qs.quarantine.bbox());
-        self.queries[id.index()] = Some(qs);
+        if self.queries[id.index()].replace(qs).is_none() {
+            self.live += 1;
+        }
+        if self.live > self.high_water {
+            self.high_water = self.live;
+            srb_obs::gauge!("processor.slot_high_water").set(self.high_water as u64);
+        }
+        srb_obs::gauge!("processor.slot_occupancy").set(self.live as u64);
     }
 
-    /// Deregisters a query, clearing its grid buckets. Returns `false` for
-    /// unknown ids.
+    /// Deregisters a query, clearing its grid buckets and bumping the
+    /// slot's reuse generation. Returns `false` for unknown ids.
     pub fn remove(&mut self, id: QueryId) -> bool {
         let Some(slot) = self.queries.get_mut(id.index()) else {
             return false;
         };
         let Some(qs) = slot.take() else { return false };
         self.grid.remove(id, &qs.quarantine.bbox());
+        self.gens[id.index()] = self.gens[id.index()].wrapping_add(1);
+        self.live -= 1;
+        srb_obs::gauge!("processor.slot_occupancy").set(self.live as u64);
         true
     }
 
@@ -114,13 +153,21 @@ impl QueryProcessor {
     /// The affected-query candidates of a move from `p_lst` to `pos`: the
     /// buckets of the new and old cells, deduplicated in that order.
     pub fn candidates(&self, pos: Point, p_lst: Point) -> Vec<QueryId> {
-        let mut candidates: Vec<QueryId> = self.grid.queries_at(pos).to_vec();
+        let mut out = Vec::new();
+        self.candidates_into(pos, p_lst, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`candidates`](Self::candidates): clears
+    /// `out` and fills it with the candidate set, reusing its capacity.
+    pub fn candidates_into(&self, pos: Point, p_lst: Point, out: &mut Vec<QueryId>) {
+        out.clear();
+        out.extend_from_slice(self.grid.queries_at(pos));
         for &q in self.grid.queries_at(p_lst) {
-            if !candidates.contains(&q) {
-                candidates.push(q);
+            if !out.contains(&q) {
+                out.push(q);
             }
         }
-        candidates
     }
 
     /// Evaluates a brand-new query from scratch (§4.1–§4.2), returning its
@@ -179,7 +226,7 @@ impl QueryProcessor {
         ctx: &mut EvalCtx<'_>,
         qid: QueryId,
         movers: &[ObjectId],
-        prev: &HashMap<ObjectId, Point>,
+        prev: &FastMap<ObjectId, Point>,
         space: &Rect,
     ) -> Option<Vec<ObjectId>> {
         if movers.len() == 1 {
@@ -260,6 +307,22 @@ mod tests {
         p.install(c, state(r));
         assert_eq!(p.count(), 2);
         assert_eq!(p.ids().count(), 2);
+    }
+
+    #[test]
+    fn deregistration_bumps_slot_generation() {
+        let mut p = QueryProcessor::new(Rect::UNIT, 4);
+        let r = Rect::new(Point::new(0.1, 0.1), Point::new(0.2, 0.2));
+        let a = p.alloc_id();
+        p.install(a, state(r));
+        assert_eq!(p.generation(a), Some(0));
+        p.remove(a);
+        assert_eq!(p.generation(a), Some(1));
+        let b = p.alloc_id();
+        assert_eq!(b, a, "slot reused");
+        p.install(b, state(r));
+        assert_eq!(p.generation(b), Some(1), "reused id carries the bumped generation");
+        assert_eq!(p.high_water(), 1);
     }
 
     #[test]

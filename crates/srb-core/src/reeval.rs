@@ -60,7 +60,7 @@ pub(crate) fn reevaluate_multi(
     ctx: &mut EvalCtx<'_>,
     qs: &mut QueryState,
     movers: &[ObjectId],
-    prev: &std::collections::HashMap<ObjectId, Point>,
+    prev: &srb_hash::FastMap<ObjectId, Point>,
     space: &Rect,
 ) -> Reeval {
     match qs.spec {

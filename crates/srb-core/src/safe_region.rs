@@ -39,11 +39,21 @@ pub(crate) fn compute_safe_region(
 ) -> Rect {
     let cell = grid.cell_rect_of(pos);
     let scale = CLEARANCE_FRACTION * cell.width().min(cell.height());
-    let objective: Box<dyn PerimeterObjective> = match steadiness {
+    // Stack-dispatched objective: this runs once per safe-region
+    // computation (every report), so the previous `Box<dyn>` was a heap
+    // allocation on the hot path. Both variants live on the stack; only
+    // the vtable pointer differs.
+    let weighted;
+    let ordinary;
+    let objective: &dyn PerimeterObjective = match steadiness {
         Some(d) if p_lst != pos => {
-            Box::new(ClearanceObjective::new(WeightedPerimeter::new(pos, p_lst, d), pos, scale))
+            weighted = ClearanceObjective::new(WeightedPerimeter::new(pos, p_lst, d), pos, scale);
+            &weighted
         }
-        _ => Box::new(ClearanceObjective::new(OrdinaryPerimeter, pos, scale)),
+        _ => {
+            ordinary = ClearanceObjective::new(OrdinaryPerimeter, pos, scale);
+            &ordinary
+        }
     };
     srb_obs::counter!("safe_region.computations").inc();
     srb_obs::histogram!("safe_region.relevant_queries").record(grid.queries_at(pos).len() as u64);
@@ -54,7 +64,7 @@ pub(crate) fn compute_safe_region(
         let Some(qs) = queries.get(qid.index()).and_then(|q| q.as_ref()) else {
             continue;
         };
-        match sr_for_query(ctx, qs, oid, pos, &cell, objective.as_ref()) {
+        match sr_for_query(ctx, qs, oid, pos, &cell, objective) {
             SrQ::Rect(r) => {
                 sr = sr.intersection(&r).unwrap_or_else(|| Rect::point(pos));
             }
@@ -64,7 +74,7 @@ pub(crate) fn compute_safe_region(
     }
 
     if !range_blocks.is_empty() {
-        let batch = irlp_rect_complement_batch(&range_blocks, pos, &cell, objective.as_ref());
+        let batch = irlp_rect_complement_batch(&range_blocks, pos, &cell, objective);
         sr = sr.intersection(&batch).unwrap_or_else(|| Rect::point(pos));
     }
     if !sr.contains_point(pos) {

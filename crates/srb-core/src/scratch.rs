@@ -1,0 +1,185 @@
+//! Reusable per-operation buffers — the server's memory plane.
+//!
+//! Every state-mutating server operation used to open with the same block:
+//! build a fresh `exact: HashMap<ObjectId, Point>` and a fresh deferred-probe
+//! `Vec`, run the operation, drop both. At millions of reports per second
+//! that per-batch construction — not geometry — bounds throughput, so the
+//! buffers now live in a [`BatchScratch`] arena owned by each `Server`
+//! (per-shard in the sharded engine) and are cleared and reused instead of
+//! reallocated. Once capacities have warmed up, the steady-state report path
+//! performs **zero** heap allocations (pinned by the counting-allocator test
+//! `alloc_steady.rs` and the `mem` bench).
+//!
+//! The buffers are handed out by value (`take_*`) and returned (`put_*`)
+//! rather than borrowed, so an operation can hold its buffers as locals
+//! while freely taking `&mut self` borrows of the server's layers. Taking
+//! moves three pointers per group; nothing is copied.
+
+use crate::ids::{ObjectId, QueryId};
+use srb_geom::{Point, Rect};
+use srb_hash::FastMap;
+
+/// Buffers shared by *every* state-mutating operation (`add_object`,
+/// `remove_object`, `register_query`, `process_report`, the batch path) —
+/// the deduplicated form of the per-operation preamble each of them used to
+/// build inline.
+#[derive(Default)]
+pub(crate) struct OpBuffers {
+    /// Exactly-known locations of the current operation (the updater plus
+    /// every probed object) — Algorithm 1's invalid set.
+    pub exact: FastMap<ObjectId, Point>,
+    /// Deferred-probe requests accumulated during evaluation.
+    pub deferred: Vec<(ObjectId, f64)>,
+    /// Safe regions recomputed at the end of the operation.
+    pub recomputed: Vec<(ObjectId, Rect)>,
+    /// Affected-query candidates of the current report.
+    pub candidates: Vec<QueryId>,
+}
+
+impl OpBuffers {
+    fn clear(&mut self) {
+        self.exact.clear();
+        self.deferred.clear();
+        self.recomputed.clear();
+        self.candidates.clear();
+    }
+}
+
+/// Extra buffers for the multi-update batch path.
+#[derive(Default)]
+pub(crate) struct BatchBuffers {
+    /// Previous anchor (`p_lst`) of every mover in the batch.
+    pub prev: FastMap<ObjectId, Point>,
+    /// Movers grouped by affected query.
+    pub per_query: Vec<(QueryId, Vec<ObjectId>)>,
+}
+
+impl BatchBuffers {
+    fn clear(&mut self) {
+        self.prev.clear();
+        self.per_query.clear();
+    }
+}
+
+/// Buffers for the sequenced-update admission pass.
+#[derive(Default)]
+pub(crate) struct SeqBuffers {
+    /// Updates that passed the sequence check, in arrival order.
+    pub accepted: Vec<(ObjectId, Point)>,
+    /// Stale-sequence senders owed a safe-region re-grant.
+    pub regrants: Vec<ObjectId>,
+}
+
+impl SeqBuffers {
+    fn clear(&mut self) {
+        self.accepted.clear();
+        self.regrants.clear();
+    }
+}
+
+/// The per-server scratch arena. All buffers retain their capacity across
+/// operations; `take_*` clears content (never capacity) before handing a
+/// group out.
+#[derive(Default)]
+pub(crate) struct BatchScratch {
+    op: OpBuffers,
+    batch: BatchBuffers,
+    seq: SeqBuffers,
+    high_water: usize,
+}
+
+impl BatchScratch {
+    /// Takes the shared per-operation buffers, cleared.
+    pub fn take_op(&mut self) -> OpBuffers {
+        let mut b = std::mem::take(&mut self.op);
+        b.clear();
+        b
+    }
+
+    /// Returns the per-operation buffers, recording the high-water mark.
+    pub fn put_op(&mut self, b: OpBuffers) {
+        self.note(b.recomputed.len().max(b.exact.len()));
+        self.op = b;
+    }
+
+    /// Takes the batch-path buffers, cleared.
+    pub fn take_batch(&mut self) -> BatchBuffers {
+        let mut b = std::mem::take(&mut self.batch);
+        b.clear();
+        b
+    }
+
+    /// Returns the batch-path buffers.
+    pub fn put_batch(&mut self, b: BatchBuffers) {
+        self.note(b.prev.len());
+        self.batch = b;
+    }
+
+    /// Takes the sequenced-admission buffers, cleared.
+    pub fn take_seq(&mut self) -> SeqBuffers {
+        let mut b = std::mem::take(&mut self.seq);
+        b.clear();
+        b
+    }
+
+    /// Returns the sequenced-admission buffers.
+    pub fn put_seq(&mut self, b: SeqBuffers) {
+        self.note(b.accepted.len());
+        self.seq = b;
+    }
+
+    /// Most entries any scratch buffer held during a single operation.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Drops every retained capacity (bench baseline: simulates the old
+    /// build-buffers-per-batch behavior when called before each batch).
+    pub fn drop_capacity(&mut self) {
+        self.op = OpBuffers::default();
+        self.batch = BatchBuffers::default();
+        self.seq = SeqBuffers::default();
+    }
+
+    fn note(&mut self, used: usize) {
+        if used > self.high_water {
+            self.high_water = used;
+            srb_obs::gauge!("server.scratch_high_water").set(self.high_water as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_clears_content_but_keeps_capacity() {
+        let mut s = BatchScratch::default();
+        let mut op = s.take_op();
+        for i in 0..64u32 {
+            op.exact.insert(ObjectId(i), Point::new(0.0, 0.0));
+            op.deferred.push((ObjectId(i), 1.0));
+        }
+        let map_cap = op.exact.capacity();
+        let vec_cap = op.deferred.capacity();
+        s.put_op(op);
+
+        let op = s.take_op();
+        assert!(op.exact.is_empty() && op.deferred.is_empty());
+        assert!(op.exact.capacity() >= map_cap);
+        assert!(op.deferred.capacity() >= vec_cap);
+        s.put_op(op);
+        assert_eq!(s.high_water(), 64);
+    }
+
+    #[test]
+    fn drop_capacity_resets_buffers() {
+        let mut s = BatchScratch::default();
+        let mut op = s.take_op();
+        op.deferred.reserve(128);
+        s.put_op(op);
+        s.drop_capacity();
+        assert_eq!(s.take_op().deferred.capacity(), 0);
+    }
+}

@@ -19,8 +19,9 @@ use crate::object::ObjectState;
 use crate::processor::QueryProcessor;
 use crate::provider::{CostTracker, LocationProvider, WorkStats};
 use crate::query::{Quarantine, QuerySpec, QueryState, ResultChange};
+use crate::scratch::{BatchScratch, OpBuffers};
 use srb_geom::{Point, Rect};
-use std::collections::HashMap;
+use srb_hash::FastMap;
 
 /// Response to a query registration: the id, the initial results, and the
 /// updated safe regions of every object probed during evaluation (step 5 of
@@ -71,6 +72,9 @@ pub struct Server {
     location: LocationManager,
     costs: CostTracker,
     work: WorkStats,
+    /// Reused per-operation buffers (see `scratch.rs`): the reason the
+    /// steady-state report path allocates nothing.
+    scratch: BatchScratch,
 }
 
 impl Server {
@@ -82,6 +86,7 @@ impl Server {
             location: LocationManager::new(),
             costs: CostTracker::default(),
             work: WorkStats::default(),
+            scratch: BatchScratch::default(),
             config,
         }
     }
@@ -218,21 +223,13 @@ impl Server {
         );
         // Fold into affected queries: any query whose quarantine contains
         // pos may gain the new object.
-        let affected: Vec<QueryId> = self
-            .processor
-            .grid()
-            .queries_at(pos)
-            .iter()
-            .copied()
-            .filter(|&qid| {
-                self.processor.get(qid).map(|qs| qs.quarantine.contains(pos)).unwrap_or(false)
-            })
-            .collect();
-        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
-        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
-        exact.insert(id, pos);
+        let mut op = self.scratch.take_op();
+        op.candidates.extend(self.processor.grid().queries_at(pos).iter().copied().filter(
+            |&qid| self.processor.get(qid).map(|qs| qs.quarantine.contains(pos)).unwrap_or(false),
+        ));
+        op.exact.insert(id, pos);
         let space = self.config.space;
-        for qid in affected {
+        for &qid in &op.candidates {
             let is_range =
                 matches!(self.processor.get(qid).map(|qs| qs.spec), Some(QuerySpec::Range { .. }));
             if is_range {
@@ -245,8 +242,8 @@ impl Server {
                     &self.index,
                     &mut self.costs,
                     &mut self.work,
-                    &mut exact,
-                    &mut deferred,
+                    &mut op.exact,
+                    &mut op.deferred,
                     provider,
                     self.config.max_speed,
                     now,
@@ -254,8 +251,9 @@ impl Server {
                 self.processor.refold_knn(&mut ctx, qid, &space);
             }
         }
-        self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
-        self.location.absorb_deferred(&mut deferred, &exact, self.index.objects());
+        self.recompute_safe_regions(&mut op, provider, now);
+        self.location.absorb_deferred(&mut op.deferred, &op.exact, self.index.objects());
+        self.scratch.put_op(op);
         Ok(self.index.get(id).expect("just added").safe_region)
     }
 
@@ -269,10 +267,11 @@ impl Server {
     ) -> Option<ResultRemoval> {
         let st = self.index.remove(id)?;
         let mut changes = Vec::new();
-        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
-        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
+        let mut op = self.scratch.take_op();
+        op.candidates.extend(self.processor.ids());
         let space = self.config.space;
-        for qid in self.processor.ids().collect::<Vec<_>>() {
+        for i in 0..op.candidates.len() {
+            let qid = op.candidates[i];
             let holds = self.processor.get(qid).map(|qs| qs.is_result(id)).unwrap_or(false);
             if !holds {
                 continue;
@@ -284,8 +283,8 @@ impl Server {
                     &self.index,
                     &mut self.costs,
                     &mut self.work,
-                    &mut exact,
-                    &mut deferred,
+                    &mut op.exact,
+                    &mut op.deferred,
                     provider,
                     self.config.max_speed,
                     now,
@@ -295,8 +294,10 @@ impl Server {
             let results = self.processor.get(qid).expect("query exists").results.clone();
             changes.push(ResultChange { query: qid, results });
         }
-        let probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
-        self.location.absorb_deferred(&mut deferred, &exact, self.index.objects());
+        self.recompute_safe_regions(&mut op, provider, now);
+        self.location.absorb_deferred(&mut op.deferred, &op.exact, self.index.objects());
+        let probed = op.recomputed.clone();
+        self.scratch.put_op(op);
         Some(ResultRemoval { last_state: st, changes, probed })
     }
 
@@ -313,16 +314,15 @@ impl Server {
         now: f64,
     ) -> RegisterResponse {
         let _span = srb_obs::span!("server.register_query");
-        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
-        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
+        let mut op = self.scratch.take_op();
         let space = self.config.space;
         let (results, quarantine) = {
             let mut ctx = ctx(
                 &self.index,
                 &mut self.costs,
                 &mut self.work,
-                &mut exact,
-                &mut deferred,
+                &mut op.exact,
+                &mut op.deferred,
                 provider,
                 self.config.max_speed,
                 now,
@@ -336,10 +336,10 @@ impl Server {
         // 1); their safe regions are recomputed against all constraints
         // (the fresh computation subsumes the paper's intersection with
         // sr_Q and can only yield a larger — still sound — region).
-        let safe_regions = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
-        let exact_all: HashMap<ObjectId, Point> =
-            safe_regions.iter().map(|&(o, _)| (o, Point::ORIGIN)).collect();
-        self.location.absorb_deferred(&mut deferred, &exact_all, self.index.objects());
+        self.recompute_safe_regions(&mut op, provider, now);
+        let safe_regions = op.recomputed.clone();
+        self.absorb_probed_only(&mut op);
+        self.scratch.put_op(op);
         RegisterResponse { id, results, safe_regions }
     }
 
@@ -418,8 +418,24 @@ impl Server {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
-        let mut accepted: Vec<(ObjectId, Point)> = Vec::new();
-        let mut regrant_ids: Vec<ObjectId> = Vec::new();
+        let mut out = Vec::new();
+        self.handle_sequenced_updates_into(updates, provider, now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`handle_sequenced_updates`](Self::handle_sequenced_updates):
+    /// **appends** the responses to `out` instead of returning a fresh
+    /// vector, so a caller reusing `out` across batches completes a
+    /// steady-state batch with zero heap allocations (see `alloc_steady.rs`).
+    pub fn handle_sequenced_updates_into(
+        &mut self,
+        updates: &[SequencedUpdate],
+        provider: &mut dyn LocationProvider,
+        now: f64,
+        out: &mut Vec<(ObjectId, UpdateResponse)>,
+    ) {
+        let mut seq = self.scratch.take_seq();
         for u in updates {
             match self.index.get_mut(u.id) {
                 None => {
@@ -431,20 +447,20 @@ impl Server {
                     self.work.regrants += 1;
                     srb_obs::counter!("server.stale_seq_drops").inc();
                     srb_obs::counter!("server.regrants").inc();
-                    regrant_ids.push(u.id);
+                    seq.regrants.push(u.id);
                 }
                 Some(st) => {
                     st.last_seq = u.seq;
-                    accepted.push((u.id, u.pos));
+                    seq.accepted.push((u.id, u.pos));
                 }
             }
         }
-        let mut responses = self.apply_update_batch(&accepted, provider, now);
+        self.apply_update_batch(&seq.accepted, provider, now, out);
         // Re-grants are materialized *after* the batch is applied so they
         // carry the post-update safe region, never a stale one.
-        for id in regrant_ids {
+        for &id in &seq.regrants {
             if let Some(st) = self.index.get(id) {
-                responses.push((
+                out.push((
                     id,
                     UpdateResponse {
                         safe_region: st.safe_region,
@@ -454,87 +470,88 @@ impl Server {
                 ));
             }
         }
-        responses
+        self.scratch.put_seq(seq);
     }
 
     /// Shared batch body: every position installed first, then each affected
     /// query reevaluated once. Callers guarantee all ids are registered.
+    /// Appends this batch's responses to `out`.
     fn apply_update_batch(
         &mut self,
         updates: &[(ObjectId, Point)],
         provider: &mut dyn LocationProvider,
         now: f64,
-    ) -> Vec<(ObjectId, UpdateResponse)> {
+        out: &mut Vec<(ObjectId, UpdateResponse)>,
+    ) {
         if updates.is_empty() {
-            return Vec::new();
+            return;
         }
         let _span = srb_obs::span!("server.update_batch");
         srb_obs::counter!("server.updates").add(updates.len() as u64);
         self.costs.source_updates += updates.len() as u64;
         if updates.len() == 1 {
             let (id, pos) = updates[0];
-            return vec![(id, self.process_report(id, pos, provider, now))];
+            let resp = self.process_report(id, pos, provider, now);
+            out.push((id, resp));
+            return;
         }
-        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
-        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
-        let mut prev: HashMap<ObjectId, Point> = HashMap::new();
+        let mut op = self.scratch.take_op();
+        let mut batch = self.scratch.take_batch();
         for &(id, pos) in updates {
             let st = *self.index.get(id).expect("batch ids are pre-checked");
-            prev.insert(id, st.p_lst);
+            batch.prev.insert(id, st.p_lst);
             self.index.pin_to_point(id, pos);
-            exact.insert(id, pos);
+            op.exact.insert(id, pos);
         }
 
         // Affected-query candidates, with the set of movers per query.
-        let mut per_query: Vec<(QueryId, Vec<ObjectId>)> = Vec::new();
         for &(id, pos) in updates {
-            let p_lst = prev[&id];
-            for qid in self.processor.candidates(pos, p_lst) {
-                match per_query.iter_mut().find(|(q, _)| *q == qid) {
+            let p_lst = batch.prev[&id];
+            self.processor.candidates_into(pos, p_lst, &mut op.candidates);
+            for &qid in &op.candidates {
+                match batch.per_query.iter_mut().find(|(q, _)| *q == qid) {
                     Some((_, movers)) => {
                         if !movers.contains(&id) {
                             movers.push(id);
                         }
                     }
-                    None => per_query.push((qid, vec![id])),
+                    None => batch.per_query.push((qid, vec![id])),
                 }
             }
         }
-        per_query.sort_by_key(|(q, _)| *q);
+        batch.per_query.sort_by_key(|(q, _)| *q);
 
         let space = self.config.space;
         let mut changes = Vec::new();
-        for (qid, movers) in per_query {
+        for (qid, movers) in &batch.per_query {
             let mut ctx = ctx(
                 &self.index,
                 &mut self.costs,
                 &mut self.work,
-                &mut exact,
-                &mut deferred,
+                &mut op.exact,
+                &mut op.deferred,
                 provider,
                 self.config.max_speed,
                 now,
             );
             if let Some(results) =
-                self.processor.reevaluate_batch(&mut ctx, qid, &movers, &prev, &space)
+                self.processor.reevaluate_batch(&mut ctx, *qid, movers, &batch.prev, &space)
             {
-                changes.push(ResultChange { query: qid, results });
+                changes.push(ResultChange { query: *qid, results });
             }
         }
 
-        let probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
-        let exact_all: HashMap<ObjectId, Point> =
-            probed.iter().map(|&(o, _)| (o, Point::ORIGIN)).collect();
-        self.location.absorb_deferred(&mut deferred, &exact_all, self.index.objects());
+        self.recompute_safe_regions(&mut op, provider, now);
+        self.absorb_probed_only(&mut op);
 
         // Assemble per-updater responses; probed bystanders ride along with
-        // the first updater.
-        let mut responses: Vec<(ObjectId, UpdateResponse)> = Vec::new();
+        // the first updater. `extra`/`changes` stay `Vec::new()` (no heap)
+        // when nothing beyond the movers was touched — the steady state.
+        let first = out.len();
         let mut extra: Vec<(ObjectId, Rect)> = Vec::new();
-        let updater_ids: Vec<ObjectId> = updates.iter().map(|&(id, _)| id).collect();
-        for (oid, sr) in probed {
-            if updater_ids.contains(&oid) {
-                responses.push((
+        for &(oid, sr) in &op.recomputed {
+            if updates.iter().any(|&(uid, _)| uid == oid) {
+                out.push((
                     oid,
                     UpdateResponse { safe_region: sr, probed: Vec::new(), changes: Vec::new() },
                 ));
@@ -542,11 +559,12 @@ impl Server {
                 extra.push((oid, sr));
             }
         }
-        if let Some(first) = responses.first_mut() {
-            first.1.probed = extra;
-            first.1.changes = changes;
+        if let Some(slot) = out.get_mut(first) {
+            slot.1.probed = extra;
+            slot.1.changes = changes;
         }
-        responses
+        self.scratch.put_batch(batch);
+        self.scratch.put_op(op);
     }
 
     /// Shared body of source-initiated updates and deferred probes.
@@ -567,22 +585,22 @@ impl Server {
         // The object's stored region no longer bounds it; replace it with
         // the exact point so index-based evaluation stays sound.
         self.index.pin_to_point(id, pos);
-        let mut exact: HashMap<ObjectId, Point> = HashMap::new();
-        let mut deferred: Vec<(ObjectId, f64)> = Vec::new();
-        exact.insert(id, pos);
+        let mut op = self.scratch.take_op();
+        op.exact.insert(id, pos);
 
         // Affected-query candidates: buckets of the new and old cells.
-        let candidates = self.processor.candidates(pos, p_lst);
+        self.processor.candidates_into(pos, p_lst, &mut op.candidates);
 
         let mut changes = Vec::new();
         let space = self.config.space;
-        for qid in candidates {
+        for i in 0..op.candidates.len() {
+            let qid = op.candidates[i];
             let mut ctx = ctx(
                 &self.index,
                 &mut self.costs,
                 &mut self.work,
-                &mut exact,
-                &mut deferred,
+                &mut op.exact,
+                &mut op.deferred,
                 provider,
                 self.config.max_speed,
                 now,
@@ -594,13 +612,21 @@ impl Server {
             }
         }
 
-        let mut probed = self.recompute_safe_regions(&mut exact, &mut deferred, provider, now);
-        self.location.absorb_deferred(&mut deferred, &exact, self.index.objects());
-        let safe_region = probed
-            .iter()
-            .position(|(o, _)| *o == id)
-            .map(|i| probed.remove(i).1)
-            .expect("updating object gets a safe region");
+        self.recompute_safe_regions(&mut op, provider, now);
+        self.location.absorb_deferred(&mut op.deferred, &op.exact, self.index.objects());
+        // In steady state the only recomputed region is the updater's own,
+        // so `probed` collects nothing and stays heap-free.
+        let mut safe_region = None;
+        let mut probed: Vec<(ObjectId, Rect)> = Vec::new();
+        for &(oid, sr) in &op.recomputed {
+            if oid == id {
+                safe_region = Some(sr);
+            } else {
+                probed.push((oid, sr));
+            }
+        }
+        let safe_region = safe_region.expect("updating object gets a safe region");
+        self.scratch.put_op(op);
         UpdateResponse { safe_region, probed, changes }
     }
 
@@ -659,26 +685,54 @@ impl Server {
     // ------------------------------------------------------------------
 
     /// Recomputes and installs safe regions for every exactly-known object
-    /// of this server operation (Algorithm 1, lines 14-15). Returns the new
-    /// regions.
+    /// of this server operation (Algorithm 1, lines 14-15), filling
+    /// `op.recomputed` with the new regions.
     fn recompute_safe_regions(
         &mut self,
-        exact: &mut HashMap<ObjectId, Point>,
-        deferred: &mut Vec<(ObjectId, f64)>,
+        op: &mut OpBuffers,
         provider: &mut dyn LocationProvider,
         now: f64,
-    ) -> Vec<(ObjectId, Rect)> {
+    ) {
+        op.recomputed.clear();
         self.location.recompute_safe_regions(
             &self.config,
             &mut self.index,
             &self.processor,
             &mut self.costs,
             &mut self.work,
-            exact,
-            deferred,
+            &mut op.exact,
+            &mut op.deferred,
+            &mut op.recomputed,
             provider,
             now,
         )
+    }
+
+    /// Absorbs the operation's deferral requests treating exactly the
+    /// just-recomputed objects as exactly known (the batch/registration
+    /// paths' "exact_all" rule: a request for any probed object is dropped
+    /// because its region was just refreshed). `op.exact` is rebuilt in
+    /// place — after the recompute drain it only holds fixpoint leftovers,
+    /// all of which were recomputed too.
+    fn absorb_probed_only(&mut self, op: &mut OpBuffers) {
+        op.exact.clear();
+        for &(o, _) in &op.recomputed {
+            op.exact.insert(o, Point::ORIGIN);
+        }
+        self.location.absorb_deferred(&mut op.deferred, &op.exact, self.index.objects());
+    }
+
+    /// Drops all scratch capacity. Bench-only hook: calling this before each
+    /// batch reinstates the old allocate-per-batch behavior so the `mem`
+    /// bench can measure the before/after delta on one binary.
+    #[doc(hidden)]
+    pub fn drop_scratch_capacity(&mut self) {
+        self.scratch.drop_capacity();
+    }
+
+    /// Most entries any scratch buffer held during a single operation.
+    pub fn scratch_high_water(&self) -> usize {
+        self.scratch.high_water()
     }
 }
 
@@ -688,7 +742,7 @@ fn ctx<'a>(
     index: &'a ObjectIndex,
     costs: &'a mut CostTracker,
     work: &'a mut WorkStats,
-    exact: &'a mut HashMap<ObjectId, Point>,
+    exact: &'a mut FastMap<ObjectId, Point>,
     deferred: &'a mut Vec<(ObjectId, f64)>,
     provider: &'a mut dyn LocationProvider,
     max_speed: Option<f64>,

@@ -95,6 +95,21 @@ pub fn configured_threads() -> usize {
     resolved
 }
 
+/// Coordinator-owned scratch buffers, cleared and reused every batch so the
+/// steady-state sequential batch path allocates nothing at the coordinator
+/// level either (the per-shard arenas live inside each [`Server`]). Buffer
+/// groups are taken by value and returned, mirroring `BatchScratch`.
+#[derive(Default)]
+struct CoordScratch {
+    /// Per-shard update partitions (outer Vec sized to the shard count once).
+    batches: Vec<Vec<SequencedUpdate>>,
+    /// Per-shard batch durations of the current fan-out.
+    durations: Vec<u64>,
+    /// Objects moved or probed in the current batch, sorted + deduped before
+    /// the membership scan.
+    moved: Vec<ObjectId>,
+}
+
 /// A server of servers: `N` shard-local [`Server`] stacks behind one
 /// coordinator that owns cross-shard query merging. See the module docs for
 /// the partitioning and merge rules. One shard means pure delegation —
@@ -118,6 +133,8 @@ pub struct ShardedServer {
     /// resolved once at construction so the hot path never touches the
     /// registry lock.
     shard_batch_ns: Vec<&'static srb_obs::Histogram>,
+    /// Reused coordinator batch buffers (see [`CoordScratch`]).
+    scratch: CoordScratch,
 }
 
 impl ShardedServer {
@@ -136,6 +153,7 @@ impl ShardedServer {
             shard_batch_ns: (0..shards)
                 .map(|i| srb_obs::registry().histogram(&format!("sharded.shard{i}.batch_ns")))
                 .collect(),
+            scratch: CoordScratch::default(),
             config,
         }
     }
@@ -249,6 +267,22 @@ impl ShardedServer {
         for s in &self.shards {
             s.check_invariants_deep();
         }
+    }
+
+    /// Drops every retained scratch capacity — coordinator buffers and all
+    /// per-shard arenas. Bench-only hook that simulates the old
+    /// build-buffers-per-batch behavior; never call it on a hot path.
+    #[doc(hidden)]
+    pub fn drop_scratch_capacity(&mut self) {
+        self.scratch = CoordScratch::default();
+        for s in &mut self.shards {
+            s.drop_scratch_capacity();
+        }
+    }
+
+    /// Most entries any shard's scratch buffer held during one operation.
+    pub fn scratch_high_water(&self) -> usize {
+        self.shards.iter().map(Server::scratch_high_water).max().unwrap_or(0)
     }
 
     // ------------------------------------------------------------------
@@ -400,9 +434,14 @@ impl ShardedServer {
         let target = self.owner_of(id).ok_or(ServerError::UnknownObject(id))?;
         let mut resp = self.shards[target].handle_location_update(id, pos, provider, now)?;
         let mut triggers: BTreeSet<QueryId> = resp.changes.drain(..).map(|c| c.query).collect();
-        let mut moved: BTreeSet<ObjectId> = [id].into();
+        let mut moved = std::mem::take(&mut self.scratch.moved);
+        moved.clear();
+        moved.push(id);
         moved.extend(resp.probed.iter().map(|&(o, _)| o));
+        moved.sort_unstable();
+        moved.dedup();
         self.membership_triggers(&moved, &mut triggers);
+        self.scratch.moved = moved;
         let (probed, changes) = self.merge_after(triggers, provider, now);
         resp.probed.extend(probed);
         resp.changes = changes;
@@ -443,18 +482,38 @@ impl ShardedServer {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
+        let mut out = Vec::new();
+        self.handle_sequenced_updates_into(updates, provider, now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`handle_sequenced_updates`](Self::handle_sequenced_updates):
+    /// **appends** the batch's responses to `out`. With a caller-reused
+    /// `out`, a steady-state batch on the sequential path allocates nothing
+    /// — the per-shard partitions, duration samples, and moved-object set
+    /// all live in coordinator scratch buffers.
+    pub fn handle_sequenced_updates_into(
+        &mut self,
+        updates: &[SequencedUpdate],
+        provider: &mut dyn LocationProvider,
+        now: f64,
+        out: &mut Vec<(ObjectId, UpdateResponse)>,
+    ) {
         if self.shards.len() == 1 {
-            return self.shards[0].handle_sequenced_updates(updates, provider, now);
+            self.shards[0].handle_sequenced_updates_into(updates, provider, now, out);
+            return;
         }
         let batches = self.partition(updates);
-        let mut responses = Vec::new();
-        let mut durations: Vec<u64> = Vec::new();
+        let mut durations = std::mem::take(&mut self.scratch.durations);
+        durations.clear();
+        let start = out.len();
         {
             let _span = srb_obs::span!("sharded.fan_out");
             for (i, (shard, batch)) in self.shards.iter_mut().zip(&batches).enumerate() {
                 if !batch.is_empty() {
                     let watch = srb_obs::Stopwatch::start();
-                    responses.extend(shard.handle_sequenced_updates(batch, provider, now));
+                    shard.handle_sequenced_updates_into(batch, provider, now, out);
                     if let Some(ns) = watch.elapsed_ns() {
                         self.shard_batch_ns[i].record(ns);
                         durations.push(ns);
@@ -463,7 +522,9 @@ impl ShardedServer {
             }
         }
         record_straggler_gap(&durations);
-        self.finish_batch(responses, provider, now)
+        self.scratch.durations = durations;
+        self.scratch.batches = batches;
+        self.finish_batch_in(out, start, provider, now);
     }
 
     /// The parallel twin of
@@ -513,10 +574,13 @@ impl ShardedServer {
                 })
                 .collect()
         };
+        self.scratch.batches = batches;
         record_straggler_gap(&durations);
-        let responses = shard_responses.into_iter().flatten().collect();
+        let mut responses: Vec<(ObjectId, UpdateResponse)> =
+            shard_responses.into_iter().flatten().collect();
         let mut adapter = SyncAdapter(provider);
-        self.finish_batch(responses, &mut adapter, now)
+        self.finish_batch_in(&mut responses, 0, &mut adapter, now);
+        responses
     }
 
     // ------------------------------------------------------------------
@@ -543,7 +607,8 @@ impl ShardedServer {
         for shard in &mut self.shards {
             responses.extend(shard.process_deferred(provider, now));
         }
-        self.finish_batch(responses, provider, now)
+        self.finish_batch_in(&mut responses, 0, provider, now);
+        responses
     }
 
     // ------------------------------------------------------------------
@@ -589,8 +654,16 @@ impl ShardedServer {
         self.specs[id.index()] = Some(spec);
     }
 
-    fn partition(&self, updates: &[SequencedUpdate]) -> Vec<Vec<SequencedUpdate>> {
-        let mut batches = vec![Vec::new(); self.shards.len()];
+    /// Splits `updates` into per-shard batches, reusing the coordinator's
+    /// partition buffers (the caller returns them via
+    /// `self.scratch.batches = batches` when done).
+    fn partition(&mut self, updates: &[SequencedUpdate]) -> Vec<Vec<SequencedUpdate>> {
+        let mut batches = std::mem::take(&mut self.scratch.batches);
+        batches.resize_with(self.shards.len(), Vec::new);
+        batches.truncate(self.shards.len());
+        for b in &mut batches {
+            b.clear();
+        }
         for &u in updates {
             // Unknown objects go to shard 0, which drops and counts them.
             batches[self.owner_of(u.id).unwrap_or(0)].push(u);
@@ -601,7 +674,13 @@ impl ShardedServer {
     /// Adds every kNN query holding a moved/probed object in some shard's
     /// local result to the trigger set: an in-place position change can
     /// reorder the global ranking without changing any shard-local result.
-    fn membership_triggers(&self, moved: &BTreeSet<ObjectId>, triggers: &mut BTreeSet<QueryId>) {
+    /// `moved` must be sorted (the callers sort + dedup their scratch
+    /// buffer before the scan).
+    fn membership_triggers(&self, moved: &[ObjectId], triggers: &mut BTreeSet<QueryId>) {
+        debug_assert!(
+            moved.windows(2).all(|w| w[0] <= w[1]),
+            "membership scan expects a sorted moved set"
+        );
         for (qi, spec) in self.specs.iter().enumerate() {
             if !matches!(spec, Some(QuerySpec::Knn { .. })) {
                 continue;
@@ -611,7 +690,9 @@ impl ShardedServer {
                 continue;
             }
             let hit = self.shards.iter().any(|shard| {
-                shard.results(qid).is_some_and(|rs| rs.iter().any(|o| moved.contains(o)))
+                shard
+                    .results(qid)
+                    .is_some_and(|rs| rs.iter().any(|o| moved.binary_search(o).is_ok()))
             });
             if hit {
                 triggers.insert(qid);
@@ -619,17 +700,21 @@ impl ShardedServer {
         }
     }
 
-    /// Shared batch tail: derive the trigger set from the shard responses,
-    /// re-merge, and assemble the deterministic global response.
-    fn finish_batch(
+    /// Shared batch tail: derive the trigger set from the shard responses in
+    /// `out[start..]`, re-merge, and sort that tail into the deterministic
+    /// global response (changes and coordinator probes ride its first
+    /// entry).
+    fn finish_batch_in(
         &mut self,
-        mut responses: Vec<(ObjectId, UpdateResponse)>,
+        out: &mut [(ObjectId, UpdateResponse)],
+        start: usize,
         provider: &mut dyn LocationProvider,
         now: f64,
-    ) -> Vec<(ObjectId, UpdateResponse)> {
+    ) {
         let mut triggers: BTreeSet<QueryId> = BTreeSet::new();
-        let mut moved: BTreeSet<ObjectId> = BTreeSet::new();
-        for (oid, resp) in &mut responses {
+        let mut moved = std::mem::take(&mut self.scratch.moved);
+        moved.clear();
+        for (oid, resp) in &mut out[start..] {
             for ch in resp.changes.drain(..) {
                 triggers.insert(ch.query);
             }
@@ -638,13 +723,16 @@ impl ShardedServer {
             // whose object was contacted at `now` represent movement.
             if self.owning_shard(*oid).and_then(|s| s.last_known(*oid)).map(|(_, t)| t) == Some(now)
             {
-                moved.insert(*oid);
+                moved.push(*oid);
             }
         }
+        moved.sort_unstable();
+        moved.dedup();
         self.membership_triggers(&moved, &mut triggers);
+        self.scratch.moved = moved;
         let (probed, changes) = self.merge_after(triggers, provider, now);
-        responses.sort_by_key(|&(oid, _)| oid);
-        if let Some(first) = responses.first_mut() {
+        out[start..].sort_by_key(|&(oid, _)| oid);
+        if let Some(first) = out.get_mut(start) {
             first.1.probed.extend(probed);
             first.1.changes = changes;
         } else {
@@ -653,7 +741,6 @@ impl ShardedServer {
                 "merge produced output without any shard response"
             );
         }
-        responses
     }
 
     /// Re-merges every query in `queue` to fixpoint. Coordinator probes made

@@ -1,0 +1,177 @@
+//! Property-based query-churn test for the generational query slots:
+//! `register_query` / `deregister_query` interleaved with sequenced update
+//! batches on a [`ShardedServer`] (mirrored against a plain [`Server`]).
+//!
+//! The point under test is slot reuse. Deregistering a query frees its
+//! dense slot and a later registration may claim the same [`QueryId`]; the
+//! slot's generation must bump on every free so that
+//!
+//! - a dead query's results are gone the moment it is deregistered and
+//!   never reappear after later batches (no resurrection through a reused
+//!   slot), and
+//! - a query that *reuses* the slot answers exactly its own (range)
+//!   predicate — checked against a brute-force oracle over the true
+//!   positions, which every moved object reports at batch end.
+
+use proptest::prelude::*;
+use srb_core::{
+    FnProvider, ObjectId, QueryId, QuerySpec, SequencedUpdate, Server, ServerConfig, ShardedServer,
+};
+use srb_geom::{Point, Rect};
+
+const N_OBJECTS: usize = 16;
+
+#[derive(Clone, Debug)]
+enum Ev {
+    /// Register a fresh range query (clamped to the unit square).
+    Register { cx: f64, cy: f64, half: f64 },
+    /// Deregister the `pick % live`-th live query (no-op when none are).
+    Deregister { pick: usize },
+    /// Move an object and have it report in this batch's sequenced updates.
+    Move { obj: usize, dx: f64, dy: f64 },
+}
+
+fn arb_event() -> impl Strategy<Value = Ev> {
+    // kind 0..2: register; 2..4: deregister; 4..8: move+report.
+    (0u8..8, 0.0f64..1.0, 0.0f64..1.0, 0.02f64..0.3, 0usize..64).prop_map(
+        |(kind, cx, cy, half, pick)| match kind {
+            0 | 1 => Ev::Register { cx, cy, half },
+            2 | 3 => Ev::Deregister { pick },
+            _ => Ev::Move { obj: pick % N_OBJECTS, dx: (cx - 0.5) * 0.4, dy: (cy - 0.5) * 0.4 },
+        },
+    )
+}
+
+fn range_rect(cx: f64, cy: f64, half: f64) -> Rect {
+    Rect::centered(Point::new(cx, cy), half, half)
+        .intersection(&Rect::UNIT)
+        .unwrap_or(Rect::point(Point::new(cx.clamp(0.0, 1.0), cy.clamp(0.0, 1.0))))
+}
+
+fn drive(n_shards: usize, seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
+    let mut positions: Vec<Point> = (0..N_OBJECTS)
+        .map(|i| {
+            let (x, y) = seed_pts[i % seed_pts.len()];
+            Point::new((x + i as f64 * 0.013).fract(), (y + i as f64 * 0.029).fract())
+        })
+        .collect();
+    let cfg = ServerConfig { grid_m: 10, ..Default::default() };
+    let mut plain = Server::new(cfg);
+    let mut sharded = ShardedServer::new(cfg, n_shards);
+    {
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        for (i, &p) in snapshot.iter().enumerate() {
+            plain.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+            sharded.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+        }
+    }
+
+    let mut live: Vec<(QueryId, Rect)> = Vec::new();
+    let mut dead: Vec<QueryId> = Vec::new();
+    let mut seqs = [0u64; N_OBJECTS];
+    let mut now = 0.0;
+    for batch_events in batches {
+        now += 0.1;
+        let mut batch: Vec<SequencedUpdate> = Vec::new();
+        for ev in batch_events {
+            match *ev {
+                Ev::Register { cx, cy, half } => {
+                    let rect = range_rect(cx, cy, half);
+                    let snapshot = positions.clone();
+                    let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+                    let a = plain.register_query(QuerySpec::range(rect), &mut provider, now);
+                    let b = sharded.register_query(QuerySpec::range(rect), &mut provider, now);
+                    assert_eq!(a.id, b.id, "query allocators in lockstep under churn");
+                    dead.retain(|&d| d != a.id);
+                    live.push((a.id, rect));
+                }
+                Ev::Deregister { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (qid, _) = live.remove(pick % live.len());
+                    let gen_before = plain.query_processor().generation(qid);
+                    assert!(plain.deregister_query(qid), "was registered");
+                    assert!(sharded.deregister_query(qid), "was registered");
+                    // Results vanish immediately, on both engines.
+                    assert!(plain.results(qid).is_none(), "dead query {qid} still answers");
+                    assert!(sharded.results(qid).is_none(), "dead query {qid} still answers");
+                    // The freed slot's generation bumped, so stale handles
+                    // can never alias a future occupant.
+                    assert_ne!(
+                        plain.query_processor().generation(qid),
+                        gen_before,
+                        "deregistration must bump the slot generation"
+                    );
+                    dead.push(qid);
+                }
+                Ev::Move { obj, dx, dy } => {
+                    let p = &mut positions[obj];
+                    p.x = (p.x + dx).clamp(0.0, 1.0);
+                    p.y = (p.y + dy).clamp(0.0, 1.0);
+                    seqs[obj] += 1;
+                    batch.push(SequencedUpdate {
+                        id: ObjectId(obj as u32),
+                        pos: *p,
+                        seq: seqs[obj],
+                    });
+                }
+            }
+        }
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        plain.handle_sequenced_updates(&batch, &mut provider, now);
+        sharded.handle_sequenced_updates(&batch, &mut provider, now);
+        plain.check_invariants();
+        sharded.check_invariants();
+
+        // Dead queries stay dead: a reused slot must never resurrect them.
+        for &qid in &dead {
+            assert!(plain.results(qid).is_none(), "dead query {qid} resurrected");
+            assert!(sharded.results(qid).is_none(), "dead query {qid} resurrected");
+        }
+        // Live queries answer exactly their own predicate: every object that
+        // moved also reported, so the servers' known positions equal the
+        // true ones and the brute-force oracle is exact.
+        for &(qid, rect) in &live {
+            let expected: Vec<ObjectId> = (0..N_OBJECTS)
+                .map(|i| ObjectId(i as u32))
+                .filter(|o| rect.contains_point(positions[o.index()]))
+                .collect();
+            let sort = |rs: &[ObjectId]| {
+                let mut v = rs.to_vec();
+                v.sort_unstable();
+                v
+            };
+            let a = sort(plain.results(qid).expect("live query answers"));
+            let b = sort(sharded.results(qid).expect("live query answers"));
+            assert_eq!(a, expected, "plain results for {qid} diverged from oracle at t={now}");
+            assert_eq!(b, expected, "sharded results for {qid} diverged from oracle at t={now}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Query churn on a multi-shard server: slot reuse keeps dead queries
+    /// dead and reused slots answer only their own predicate.
+    #[test]
+    fn sharded_query_churn_never_resurrects_dead_queries(
+        n_shards in 2usize..=6,
+        seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..12),
+        batches in prop::collection::vec(prop::collection::vec(arb_event(), 1..8), 1..10),
+    ) {
+        drive(n_shards, &seed_pts, &batches);
+    }
+
+    /// The same churn stream through the single-shard delegation path.
+    #[test]
+    fn single_shard_query_churn_never_resurrects_dead_queries(
+        seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..12),
+        batches in prop::collection::vec(prop::collection::vec(arb_event(), 1..8), 1..10),
+    ) {
+        drive(1, &seed_pts, &batches);
+    }
+}

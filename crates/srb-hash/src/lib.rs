@@ -1,11 +1,25 @@
-//! A minimal FxHash-style hasher for the hot `EntryId -> NodeId` map.
+//! # srb-hash
+//!
+//! The workspace's shared FxHash-style hasher for small integer keys
+//! (object ids, query ids, R\*-tree entry ids).
 //!
 //! The standard library's SipHash is collision-resistant but slow for small
-//! integer keys; object-id lookups happen on every location update, so we use
-//! the classic Fx multiply-rotate scheme (the rustc hasher) implemented
-//! locally to avoid an external dependency.
+//! integer keys; id-keyed lookups happen on every location update, so the
+//! hot maps use the classic Fx multiply-rotate scheme (the rustc hasher)
+//! implemented locally to avoid an external dependency. The hasher started
+//! life inside `srb-index` (for the `EntryId -> NodeId` leaf map) and was
+//! promoted here so `srb-core`'s object/query state plane and batch
+//! scratch buffers share the same scheme.
+//!
+//! Determinism note: [`FxHasher`] is fixed-seed, so map *layout* is
+//! reproducible across runs — but none of the framework's result-affecting
+//! paths iterate these maps in bucket order, so swapping SipHash for Fx
+//! never changes observable behavior.
 
-use std::collections::HashMap;
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -48,6 +62,9 @@ impl Hasher for FxHasher {
 /// A `HashMap` keyed by small integers using [`FxHasher`].
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// A `HashSet` of small integers using [`FxHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +82,17 @@ mod tests {
     }
 
     #[test]
+    fn set_round_trip() {
+        let mut s: FastSet<u32> = FastSet::default();
+        for i in 0..100u32 {
+            s.insert(i * 3);
+        }
+        assert!(s.contains(&99));
+        assert!(!s.contains(&100));
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
     fn hasher_spreads_sequential_keys() {
         // Sequential keys must not all collide to the same bucket pattern.
         let hashes: Vec<u64> = (0..64u64)
@@ -76,5 +104,18 @@ mod tests {
             .collect();
         let distinct: std::collections::HashSet<_> = hashes.iter().collect();
         assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        // The scratch-buffer reuse pattern relies on `clear()` keeping the
+        // allocation, so refills up to the old length never reallocate.
+        let mut m: FastMap<u32, u32> = FastMap::default();
+        for i in 0..256u32 {
+            m.insert(i, i);
+        }
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.capacity() >= cap);
     }
 }

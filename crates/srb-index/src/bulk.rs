@@ -4,9 +4,9 @@
 //! exact positions at every update period; STR packing makes that honest and
 //! fast instead of inserting N entries one at a time.
 
-use crate::fasthash::FastMap;
 use crate::node::{EntryId, LeafEntry, Node, NodeId, NodeKind, NO_NODE};
 use crate::{RStarTree, TreeConfig};
+use srb_hash::FastMap;
 
 /// Builds an [`RStarTree`] from `entries` using STR packing. Duplicate ids
 /// must not appear. The resulting tree is fully functional (it supports

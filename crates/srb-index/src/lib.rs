@@ -26,17 +26,16 @@
 #![deny(unsafe_code)]
 
 mod bulk;
-mod fasthash;
 mod node;
 mod split;
 
 pub use bulk::bulk_load;
 pub use node::{EntryId, LeafEntry};
 
-use fasthash::FastMap;
 use node::{Node, NodeId, NodeKind, NO_NODE};
 use split::{mbr_of, rstar_split};
 use srb_geom::{Point, Rect};
+use srb_hash::FastMap;
 use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -234,7 +233,7 @@ impl RStarTree {
         } else {
             node.rect = node.rect.union(&child_rect);
         }
-        node.children_mut().push(child);
+        node.children_mut(target).push(child);
         self.expand_upward(target, child_rect);
         if self.node(target).len() > self.config.max_entries {
             self.overflow(target, reinserted);
@@ -262,7 +261,7 @@ impl RStarTree {
         debug_assert!(self.node(cur).level >= target_level, "tree too short");
         while self.node(cur).level > target_level {
             let node = self.node(cur);
-            let children = node.children();
+            let children = node.children(cur);
             let leaf_children = node.level == 1;
             let mut best: Option<(f64, f64, f64, NodeId)> = None;
             for &c in children {
@@ -326,7 +325,7 @@ impl RStarTree {
                 self.insert_entry(e, reinserted);
             }
         } else {
-            let kids = self.node(node_id).children().to_vec();
+            let kids = self.node(node_id).children(node_id).to_vec();
             let mut order: Vec<usize> = (0..kids.len()).collect();
             order.sort_by(|&a, &b| {
                 let da = self.node(kids[a]).rect.center().dist_sq(center);
@@ -335,7 +334,7 @@ impl RStarTree {
             });
             let keep: Vec<NodeId> = order[..kids.len() - p].iter().map(|&i| kids[i]).collect();
             let evict: Vec<NodeId> = order[kids.len() - p..].iter().map(|&i| kids[i]).collect();
-            *self.node_mut(node_id).children_mut() = keep;
+            *self.node_mut(node_id).children_mut(node_id) = keep;
             self.recompute_mbr(node_id);
             self.shrink_upward(node_id);
             for c in evict.into_iter().rev() {
@@ -366,14 +365,14 @@ impl RStarTree {
             }
             (sib_id, node_rect, sib_rect)
         } else {
-            let items = std::mem::take(self.node_mut(node_id).children_mut());
+            let items = std::mem::take(self.node_mut(node_id).children_mut(node_id));
             let rects: Vec<Rect> = items.iter().map(|&c| self.node(c).rect).collect();
             let split = rstar_split(&rects, min);
             let node_rect = mbr_of(&rects, &split.first);
             let sib_rect = mbr_of(&rects, &split.second);
             let first: Vec<NodeId> = split.first.iter().map(|&i| items[i]).collect();
             let second: Vec<NodeId> = split.second.iter().map(|&i| items[i]).collect();
-            *self.node_mut(node_id).children_mut() = first;
+            *self.node_mut(node_id).children_mut(node_id) = first;
             let mut sib = Node::new_internal(level);
             sib.kind = NodeKind::Internal(second.clone());
             let sib_id = self.alloc(sib);
@@ -397,7 +396,7 @@ impl RStarTree {
         } else {
             let parent = self.node(node_id).parent;
             self.node_mut(sib_id).parent = parent;
-            self.node_mut(parent).children_mut().push(sib_id);
+            self.node_mut(parent).children_mut(parent).push(sib_id);
             self.shrink_upward(node_id);
             if self.node(parent).len() > self.config.max_entries {
                 self.overflow(parent, reinserted);
@@ -459,7 +458,7 @@ impl RStarTree {
         while cur != self.root && self.node(cur).len() < min {
             let parent = self.node(cur).parent;
             // Detach from the parent and flatten the subtree into entries.
-            let kids = self.node_mut(parent).children_mut();
+            let kids = self.node_mut(parent).children_mut(parent);
             let pos = kids.iter().position(|&c| c == cur).expect("child link");
             kids.swap_remove(pos);
             self.flatten_into(cur, &mut orphans);
@@ -470,7 +469,7 @@ impl RStarTree {
         // Collapse root chains left behind by condensation.
         while !self.node(self.root).is_leaf() && self.node(self.root).len() == 1 {
             let old_root = self.root;
-            let child = self.node(old_root).children()[0];
+            let child = self.node(old_root).children(old_root)[0];
             self.node_mut(child).parent = NO_NODE;
             self.root = child;
             self.release(old_root);

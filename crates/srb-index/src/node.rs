@@ -81,17 +81,32 @@ impl Node {
         }
     }
 
-    pub fn children(&self) -> &[NodeId] {
+    /// Child list of an internal node. Nodes do not know their own arena
+    /// index, so callers pass `id` purely to make the corruption report
+    /// actionable; `#[track_caller]` points the panic at the misuse site.
+    #[track_caller]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
         match &self.kind {
             NodeKind::Internal(v) => v,
-            NodeKind::Leaf(_) => panic!("children on leaf node"),
+            NodeKind::Leaf(_) => panic!(
+                "children() on leaf node {id} (level {}, {} entries)",
+                self.level,
+                self.len()
+            ),
         }
     }
 
-    pub fn children_mut(&mut self) -> &mut Vec<NodeId> {
+    /// Mutable child list of an internal node; see [`Node::children`] for
+    /// the `id` parameter.
+    #[track_caller]
+    pub fn children_mut(&mut self, id: NodeId) -> &mut Vec<NodeId> {
+        let level = self.level;
+        let len = self.len();
         match &mut self.kind {
             NodeKind::Internal(v) => v,
-            NodeKind::Leaf(_) => panic!("children_mut on leaf node"),
+            NodeKind::Leaf(_) => {
+                panic!("children_mut() on leaf node {id} (level {level}, {len} entries)")
+            }
         }
     }
 }
