@@ -1,0 +1,191 @@
+//! `backend` — the §7.1-style object-index tradeoff curve: update vs search
+//! throughput of the two [`SpatialBackend`]s (R\*-tree with bottom-up
+//! updates vs the cell-bucketed uniform grid), swept across object counts
+//! and safe-region sizes.
+//!
+//! The workload mirrors what the SRB server asks of its object index:
+//! rectangles are safe regions (half-size `sr_half`), updates are small
+//! relocations (the per-report `pin_to_point`/`install_region` pattern),
+//! range searches are quarantine-sized probes, and kNN browses pull the
+//! first `k` neighbors through the reusable-scratch best-first stream.
+//! Rows land in `BENCH_backend.json` at the repo root.
+
+use srb_bench::{figure_header, full_scale};
+use srb_geom::{Point, Rect};
+use srb_index::{
+    BackendConfig, GridConfig, NearestScratch, RStarTree, SpatialBackend, TreeConfig, UniformGrid,
+};
+use std::time::Instant;
+
+const K: usize = 10;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pos_of(seed: u64, obj: u64, round: u64) -> Point {
+    let h = splitmix64(seed ^ obj.wrapping_mul(0x9E37_79B9) ^ (round << 40));
+    let x = (h >> 32) as f64 / u32::MAX as f64;
+    let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
+    Point::new(x.clamp(0.0, 1.0), y.clamp(0.0, 1.0))
+}
+
+/// Safe region of object `obj` in `round`: a small drift from its previous
+/// center (the report-and-regrant pattern), clamped to the unit square.
+fn region_of(seed: u64, obj: u64, round: u64, sr_half: f64) -> Rect {
+    let base = pos_of(seed, obj, 0);
+    let h = splitmix64(seed ^ (obj << 17) ^ round.wrapping_mul(0xA5A5));
+    let dx = ((h >> 32) as f64 / u32::MAX as f64 - 0.5) * 4.0 * sr_half;
+    let dy = ((h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 - 0.5) * 4.0 * sr_half;
+    let c = Point::new((base.x + dx).clamp(0.0, 1.0), (base.y + dy).clamp(0.0, 1.0));
+    Rect::centered(c, sr_half, sr_half)
+}
+
+struct Timings {
+    update_ops: u64,
+    update_secs: f64,
+    search_ops: u64,
+    search_secs: f64,
+    search_hits: u64,
+    knn_ops: u64,
+    knn_secs: f64,
+    visits_per_search: f64,
+}
+
+/// Builds a backend with `n` safe regions and times the three op classes.
+/// Deterministic in `seed`; the checksum accumulators keep the optimizer
+/// from deleting the measured work.
+fn run_backend<B: SpatialBackend>(
+    config: &BackendConfig,
+    n: usize,
+    sr_half: f64,
+    seed: u64,
+) -> Timings {
+    let mut b = B::build(config, Rect::UNIT);
+    for i in 0..n {
+        b.insert(i as u64, region_of(seed, i as u64, 0, sr_half));
+    }
+
+    // Updates: every object relocates once per round (small drift), the
+    // per-report pattern the SRB hot path produces.
+    let update_rounds: u64 = if full_scale() { 16 } else { 8 };
+    let t0 = Instant::now();
+    for round in 1..=update_rounds {
+        for i in 0..n {
+            b.update(i as u64, region_of(seed, i as u64, round, sr_half));
+        }
+    }
+    let update_secs = t0.elapsed().as_secs_f64();
+    let update_ops = update_rounds * n as u64;
+
+    // Range searches: quarantine-sized windows at random anchors.
+    let search_ops: u64 = if full_scale() { 8_000 } else { 4_000 };
+    let q_half = 0.01;
+    b.reset_visits();
+    let mut hits = 0u64;
+    let t0 = Instant::now();
+    for s in 0..search_ops {
+        let c = pos_of(seed ^ 0xBEEF, s, 1);
+        let q = Rect::centered(c, q_half, q_half);
+        b.search(&q, &mut |_| hits += 1);
+    }
+    let search_secs = t0.elapsed().as_secs_f64();
+    let visits_per_search = b.visits() as f64 / search_ops as f64;
+
+    // kNN browses: first K neighbors through the reusable scratch frontier.
+    let knn_ops: u64 = if full_scale() { 4_000 } else { 2_000 };
+    let mut scratch = NearestScratch::new();
+    let mut knn_sum = 0.0f64;
+    let t0 = Instant::now();
+    for s in 0..knn_ops {
+        let c = pos_of(seed ^ 0xF00D, s, 2);
+        for nb in b.nearest_iter_with(c, &mut scratch).take(K) {
+            knn_sum += nb.dist;
+        }
+    }
+    let knn_secs = t0.elapsed().as_secs_f64();
+    assert!(knn_sum.is_finite());
+    b.check_invariants();
+
+    Timings {
+        update_ops,
+        update_secs,
+        search_ops,
+        search_secs,
+        search_hits: hits,
+        knn_ops,
+        knn_secs,
+        visits_per_search,
+    }
+}
+
+fn main() {
+    let sim = srb_bench::base_config();
+    figure_header("Backend", "object-index backends: update vs search (rstar vs grid)", &sim);
+    let counts: &[usize] =
+        if full_scale() { &[10_000, 40_000, 160_000] } else { &[1_000, 4_000, 16_000] };
+    let sr_halves: &[f64] = &[0.001, 0.01];
+    let seed = sim.seed;
+
+    let mut rows: Vec<String> = Vec::new();
+    for &n in counts {
+        for &sr_half in sr_halves {
+            let rstar_cfg = BackendConfig::RStar(TreeConfig::default());
+            let grid_cfg = BackendConfig::Grid(GridConfig::default());
+            // Best-of-2 per backend, interleaved so background load hits
+            // both equally.
+            let best = |f: &dyn Fn() -> Timings| {
+                let a = f();
+                let b = f();
+                if a.update_secs + a.search_secs + a.knn_secs
+                    <= b.update_secs + b.search_secs + b.knn_secs
+                {
+                    a
+                } else {
+                    b
+                }
+            };
+            let results: Vec<(&str, Timings)> = vec![
+                ("rstar", best(&|| run_backend::<RStarTree>(&rstar_cfg, n, sr_half, seed))),
+                ("grid", best(&|| run_backend::<UniformGrid>(&grid_cfg, n, sr_half, seed))),
+            ];
+            for (label, t) in results {
+                let upd = t.update_ops as f64 / t.update_secs.max(1e-12);
+                let srch = t.search_ops as f64 / t.search_secs.max(1e-12);
+                let knn = t.knn_ops as f64 / t.knn_secs.max(1e-12);
+                println!(
+                    "N={n:>7} sr={sr_half:<6} {label:<6} update={upd:>12.0}/s search={srch:>10.0}/s kNN={knn:>10.0}/s visits/search={:>7.1}",
+                    t.visits_per_search,
+                );
+                let line = serde_json::json!({
+                    "figure": "backend",
+                    "series": format!("{label} sr={sr_half}"),
+                    "backend": label,
+                    "n_objects": n as u64,
+                    "sr_half": sr_half,
+                    "updates_per_sec": upd,
+                    "searches_per_sec": srch,
+                    "knn_per_sec": knn,
+                    "search_hits": t.search_hits,
+                    "visits_per_search": t.visits_per_search,
+                    "update_ops": t.update_ops,
+                    "search_ops": t.search_ops,
+                    "knn_ops": t.knn_ops,
+                });
+                println!("JSON {line}");
+                rows.push(line.to_string());
+            }
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backend.json");
+    let body = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    match std::fs::write(path, body) {
+        Ok(()) => println!("\nwrote {}", path),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::provider::CostModel;
 use srb_geom::Rect;
-use srb_index::TreeConfig;
+use srb_index::BackendConfig;
 
 /// Configuration of the SRB database server.
 #[derive(Clone, Copy, Debug)]
@@ -19,8 +19,9 @@ pub struct ServerConfig {
     /// enhancement (§6.2). When set, safe regions maximize the weighted
     /// perimeter instead of the ordinary perimeter.
     pub steadiness: Option<f64>,
-    /// Object R\*-tree configuration.
-    pub tree: TreeConfig,
+    /// Object-index backend selection and parameters. The default is the
+    /// paper's R\*-tree; [`BackendConfig::Grid`] swaps in the uniform grid.
+    pub backend: BackendConfig,
     /// Wireless cost model (§7.1).
     pub cost: CostModel,
     /// Safe-region lease duration. When set, every issued safe region
@@ -38,7 +39,7 @@ impl Default for ServerConfig {
             grid_m: 50,
             max_speed: None,
             steadiness: None,
-            tree: TreeConfig::default(),
+            backend: BackendConfig::default(),
             cost: CostModel::default(),
             lease: None,
         }
@@ -68,6 +69,7 @@ mod tests {
         assert!(c.max_speed.is_none());
         assert!(c.steadiness.is_none());
         assert!(c.lease.is_none(), "paper semantics: leases never expire");
+        assert_eq!(c.backend.label(), "rstar", "default backend is the paper's R*-tree");
         assert_eq!(c.cost.c_l, 1.0);
         assert_eq!(c.cost.c_p, 1.5);
     }

@@ -12,7 +12,7 @@ use crate::object::ObjectTable;
 use crate::provider::{CostTracker, LocationProvider, WorkStats};
 use srb_geom::{Circle, Point, Rect};
 use srb_hash::FastMap;
-use srb_index::{NearestIter, RStarTree};
+use srb_index::{NearestStream, SpatialBackend};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -21,8 +21,8 @@ use std::collections::BinaryHeap;
 /// current server operation (the updating object plus all probed objects);
 /// the server recomputes safe regions for exactly these objects afterwards
 /// (Algorithm 1 lines 14–15).
-pub(crate) struct EvalCtx<'a> {
-    pub tree: &'a RStarTree,
+pub(crate) struct EvalCtx<'a, B: SpatialBackend> {
+    pub tree: &'a B,
     pub objects: &'a ObjectTable,
     pub exact: &'a mut FastMap<ObjectId, Point>,
     pub provider: &'a mut dyn LocationProvider,
@@ -41,15 +41,15 @@ pub(crate) struct EvalCtx<'a> {
 
 /// Read-only view of the server state needed to bound object locations —
 /// used by safe-region computation, which never probes.
-pub(crate) struct ReadCtx<'a> {
-    pub tree: &'a RStarTree,
+pub(crate) struct ReadCtx<'a, B: SpatialBackend> {
+    pub tree: &'a B,
     pub objects: &'a ObjectTable,
     pub exact: &'a FastMap<ObjectId, Point>,
     pub max_speed: Option<f64>,
     pub now: f64,
 }
 
-impl ReadCtx<'_> {
+impl<B: SpatialBackend> ReadCtx<'_, B> {
     /// The location bound for an object whose stored rectangle is `sr`.
     pub fn bound(&self, id: ObjectId, sr: Rect) -> LocBound {
         if let Some(&p) = self.exact.get(&id) {
@@ -75,9 +75,9 @@ impl ReadCtx<'_> {
     }
 }
 
-impl EvalCtx<'_> {
+impl<B: SpatialBackend> EvalCtx<'_, B> {
     /// A read-only view sharing this context's state.
-    pub fn as_read(&self) -> ReadCtx<'_> {
+    pub fn as_read(&self) -> ReadCtx<'_, B> {
         ReadCtx {
             tree: self.tree,
             objects: self.objects,
@@ -175,7 +175,10 @@ impl EvalCtx<'_> {
 
 /// Evaluates a new range query over safe regions, probing only objects whose
 /// bound straddles the rectangle boundary.
-pub(crate) fn evaluate_range(ctx: &mut EvalCtx<'_>, rect: &Rect) -> Vec<ObjectId> {
+pub(crate) fn evaluate_range<B: SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
+    rect: &Rect,
+) -> Vec<ObjectId> {
     ctx.work.evaluations += 1;
     let mut results = Vec::new();
     let candidates = ctx.tree.search_vec(rect);
@@ -294,16 +297,16 @@ impl Ord for Item {
     }
 }
 
-/// Merges the R-tree's best-first browser with probed exact points pushed
+/// Merges the backend's best-first browser with probed exact points pushed
 /// back into the frontier, yielding objects in non-decreasing key order.
-struct Stream<'a> {
-    browser: NearestIter<'a>,
+struct Stream<'a, B: SpatialBackend + 'a> {
+    browser: B::Nearest<'a>,
     heap: BinaryHeap<Reverse<Item>>,
     q: Point,
 }
 
-impl<'a> Stream<'a> {
-    fn new(tree: &'a RStarTree, q: Point) -> Self {
+impl<'a, B: SpatialBackend + 'a> Stream<'a, B> {
+    fn new(tree: &'a B, q: Point) -> Self {
         Stream { browser: tree.nearest_iter(q), heap: BinaryHeap::new(), q }
     }
 
@@ -312,7 +315,7 @@ impl<'a> Stream<'a> {
     }
 
     /// Next object by key, skipping `exclude`.
-    fn next(&mut self, ctx: &EvalCtx<'_>, exclude: &[ObjectId]) -> Option<Item> {
+    fn next(&mut self, ctx: &EvalCtx<'_, B>, exclude: &[ObjectId]) -> Option<Item> {
         loop {
             // Pull from the browser until its lower bound can no longer beat
             // the heap top.
@@ -346,8 +349,8 @@ fn open_radius(q: Point, space: &Rect, inner: f64) -> f64 {
 }
 
 /// Evaluates a new **order-sensitive** kNN query (Algorithm 2).
-pub(crate) fn evaluate_knn_ordered(
-    ctx: &mut EvalCtx<'_>,
+pub(crate) fn evaluate_knn_ordered<B: SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     q: Point,
     k: usize,
     space: &Rect,
@@ -416,12 +419,12 @@ pub(crate) fn evaluate_knn_ordered(
 /// confirmations leave those raw ranges overlapping, the separation is
 /// restored by probing (each probed object's safe region is recomputed by
 /// the server afterwards, shrinking it to an exact point here).
-fn sound_radius(
-    ctx: &mut EvalCtx<'_>,
+fn sound_radius<B: SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     q: Point,
     results: &mut [Item],
     mut next: Option<Item>,
-    stream: &mut Stream<'_>,
+    stream: &mut Stream<'_, B>,
     exclude: &[ObjectId],
     space: &Rect,
 ) -> f64 {
@@ -473,8 +476,8 @@ fn sound_radius(
 /// Evaluates a new **order-insensitive** kNN query: same browsing, but up to
 /// `k` objects may be held simultaneously, so fewer probes are needed
 /// (§4.2, last paragraph).
-pub(crate) fn evaluate_knn_unordered(
-    ctx: &mut EvalCtx<'_>,
+pub(crate) fn evaluate_knn_unordered<B: SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     q: Point,
     k: usize,
     space: &Rect,

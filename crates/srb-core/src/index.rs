@@ -1,8 +1,10 @@
 //! The object index layer (paper §3.1, Figure 3.1 box "object index").
 //!
-//! Couples the R\*-tree over safe regions with the per-object state table
-//! and keeps the two coherent: every mutation that changes an object's
-//! stored rectangle goes through this wrapper, so the tree entry and
+//! Couples a pluggable [`SpatialBackend`] over safe regions (the paper's
+//! R\*-tree by default, the uniform grid as the update-optimized
+//! alternative) with the per-object state table and keeps the two
+//! coherent: every mutation that changes an object's stored rectangle
+//! goes through this wrapper, so the backend entry and
 //! [`ObjectState::safe_region`] can never drift apart. The query layers
 //! above ([`crate::grid`], the query processor) only ever see shared
 //! references.
@@ -10,23 +12,33 @@
 use crate::ids::ObjectId;
 use crate::object::{ObjectState, ObjectTable};
 use srb_geom::{Point, Rect};
-use srb_index::{RStarTree, TreeConfig};
+use srb_index::{BackendConfig, RStarTree, SpatialBackend, TreeConfig};
 
-/// The object index: an R\*-tree over safe regions plus the dense object
-/// state table, kept in lockstep.
-pub struct ObjectIndex {
-    tree: RStarTree,
+/// The object index: a spatial backend over safe regions plus the dense
+/// object state table, kept in lockstep. Generic in the backend `B`,
+/// defaulted to the paper's R\*-tree so existing call sites are unchanged.
+pub struct ObjectIndex<B: SpatialBackend = RStarTree> {
+    tree: B,
     objects: ObjectTable,
 }
 
-impl ObjectIndex {
-    /// Creates an empty index with the given tree configuration.
+impl ObjectIndex<RStarTree> {
+    /// Creates an empty R\*-tree-backed index with the given tree
+    /// configuration.
     pub fn new(tree: TreeConfig) -> Self {
         ObjectIndex { tree: RStarTree::new(tree), objects: ObjectTable::new() }
     }
+}
 
-    /// The R\*-tree, for spatial search and best-first browsing.
-    pub fn tree(&self) -> &RStarTree {
+impl<B: SpatialBackend> ObjectIndex<B> {
+    /// Creates an empty index whose backend is built from `config` over
+    /// `space`. Panics when `config`'s variant does not match `B`.
+    pub fn with_backend(config: &BackendConfig, space: Rect) -> Self {
+        ObjectIndex { tree: B::build(config, space), objects: ObjectTable::new() }
+    }
+
+    /// The spatial backend, for search and best-first browsing.
+    pub fn tree(&self) -> &B {
         &self.tree
     }
 
@@ -50,15 +62,15 @@ impl ObjectIndex {
         self.objects.get(id)
     }
 
-    /// Mutable state access. Safe for fields the tree does not mirror
+    /// Mutable state access. Safe for fields the backend does not mirror
     /// (`last_seq`, `p_lst`, `t_lst`); safe-region changes must go through
     /// [`install_region`](Self::install_region) instead.
     pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut ObjectState> {
         self.objects.get_mut(id)
     }
 
-    /// Registers a new object: inserts its rectangle into the tree and its
-    /// state into the table.
+    /// Registers a new object: inserts its rectangle into the backend and
+    /// its state into the table.
     pub fn insert(&mut self, id: ObjectId, state: ObjectState) {
         let _span = srb_obs::span!("object_index.insert");
         self.tree.insert(id.entry(), state.safe_region);
@@ -82,13 +94,13 @@ impl ObjectIndex {
     pub fn pin_to_point(&mut self, id: ObjectId, pos: Point) {
         // Deliberately span-free: this runs once per report and takes well
         // under a microsecond, so a wall-clock span would cost more than
-        // the work it measures. The tree-side counters/histograms in
+        // the work it measures. The backend-side counters/histograms in
         // `srb-index` cover this path.
         self.tree.update(id.entry(), Rect::point(pos));
     }
 
-    /// Installs a freshly computed safe region: updates the tree entry and
-    /// rewrites the state with the new anchor `pos` at time `now`,
+    /// Installs a freshly computed safe region: updates the backend entry
+    /// and rewrites the state with the new anchor `pos` at time `now`,
     /// preserving the accepted sequence number.
     pub fn install_region(&mut self, id: ObjectId, pos: Point, sr: Rect, now: f64) {
         // Span-free for the same reason as `pin_to_point`.
@@ -97,18 +109,18 @@ impl ObjectIndex {
         self.objects.set(id, ObjectState { p_lst: pos, t_lst: now, safe_region: sr, last_seq });
     }
 
-    /// Deterministic work units: tree node visits.
+    /// Deterministic work units: backend structural-unit visits.
     pub fn visits(&self) -> u64 {
         self.tree.visits()
     }
 
-    /// Cheap structural check: the tree and the table index the same number
-    /// of objects.
+    /// Cheap structural check: the backend and the table index the same
+    /// number of objects.
     pub fn check_counts(&self) {
         assert_eq!(self.tree.len(), self.objects.len(), "tree/table length mismatch");
     }
 
-    /// Full O(n) coherence scan: tree invariants plus an entry-by-entry
+    /// Full O(n) coherence scan: backend invariants plus an entry-by-entry
     /// comparison of stored rectangles against table safe regions.
     pub fn check_coherence(&self) {
         self.tree.check_invariants();
@@ -123,6 +135,7 @@ impl ObjectIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use srb_index::{GridConfig, UniformGrid};
 
     fn state(p: Point, sr: Rect) -> ObjectState {
         ObjectState { p_lst: p, t_lst: 0.0, safe_region: sr, last_seq: 3 }
@@ -166,6 +179,22 @@ mod tests {
         idx.tree_insert_for_test(ObjectId(2), Rect::point(p));
         idx.install_region(ObjectId(2), p, Rect::point(p), 1.0);
         assert_eq!(idx.get(ObjectId(2)).unwrap().last_seq, 0);
+    }
+
+    #[test]
+    fn grid_backed_index_stays_coherent() {
+        let cfg = BackendConfig::Grid(GridConfig::default());
+        let mut idx: ObjectIndex<UniformGrid> = ObjectIndex::with_backend(&cfg, Rect::UNIT);
+        let p0 = Point::new(0.15, 0.85);
+        idx.insert(ObjectId(9), state(p0, Rect::point(p0)));
+        let p1 = Point::new(0.9, 0.1);
+        idx.pin_to_point(ObjectId(9), p1);
+        let sr = Rect::new(Point::new(0.8, 0.05), Point::new(0.95, 0.2));
+        idx.install_region(ObjectId(9), p1, sr, 1.5);
+        assert_eq!(idx.tree().get(9), Some(sr));
+        idx.check_coherence();
+        assert!(idx.remove(ObjectId(9)).is_some());
+        idx.check_coherence();
     }
 
     impl ObjectIndex {

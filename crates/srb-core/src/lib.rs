@@ -40,6 +40,13 @@
 //! `safe_region` Ir-lp-based safe regions (§5), [`bounds`](crate::bounds)
 //! reachability refinement (§6.1), weighted-perimeter objective selection
 //! (§6.2) via [`ServerConfig::steadiness`].
+//!
+//! The object index under the server is a pluggable
+//! [`SpatialBackend`](srb_index::SpatialBackend): [`Server`] and
+//! [`ShardedServer`] default to the paper's R\*-tree, and
+//! `Server::<UniformGrid>::with_backend` (or `SRB_BACKEND=grid` through the
+//! simulator) swaps in the uniform-grid backend without touching any query
+//! semantics.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -75,3 +82,6 @@ pub use provider::{CostModel, CostTracker, FnProvider, LocationProvider, NoProbe
 pub use query::{Quarantine, QuerySpec, QueryState, ResultChange};
 pub use server::{RegisterResponse, ResultRemoval, SequencedUpdate, Server, UpdateResponse};
 pub use sharded::{configured_threads, ShardedServer, SyncProvider};
+pub use srb_index::{
+    BackendConfig, BackendStats, GridConfig, RStarTree, SpatialBackend, TreeConfig, UniformGrid,
+};

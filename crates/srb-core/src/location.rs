@@ -124,10 +124,10 @@ impl LocationManager {
     /// Appends the new regions to `out` (a reused scratch buffer the caller
     /// clears beforehand, so steady-state batches allocate nothing here).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn recompute_safe_regions(
+    pub(crate) fn recompute_safe_regions<B: srb_index::SpatialBackend>(
         &mut self,
         config: &ServerConfig,
-        index: &mut ObjectIndex,
+        index: &mut ObjectIndex<B>,
         processor: &QueryProcessor,
         costs: &mut CostTracker,
         work: &mut WorkStats,

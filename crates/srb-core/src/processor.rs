@@ -172,9 +172,9 @@ impl QueryProcessor {
 
     /// Evaluates a brand-new query from scratch (§4.1–§4.2), returning its
     /// initial results and quarantine area. Nothing is registered yet.
-    pub(crate) fn evaluate_new(
+    pub(crate) fn evaluate_new<B: srb_index::SpatialBackend>(
         &self,
-        ctx: &mut EvalCtx<'_>,
+        ctx: &mut EvalCtx<'_, B>,
         spec: QuerySpec,
         space: &Rect,
     ) -> (Vec<ObjectId>, Quarantine) {
@@ -196,9 +196,9 @@ impl QueryProcessor {
     /// `pos` (§4.3), updating the grid when the quarantine changed. Returns
     /// the new result set when it changed, `None` otherwise (including for
     /// unknown ids).
-    pub(crate) fn reevaluate_single(
+    pub(crate) fn reevaluate_single<B: srb_index::SpatialBackend>(
         &mut self,
-        ctx: &mut EvalCtx<'_>,
+        ctx: &mut EvalCtx<'_, B>,
         qid: QueryId,
         oid: ObjectId,
         pos: Point,
@@ -221,9 +221,9 @@ impl QueryProcessor {
     /// when a single mover affects it, from scratch when several do. All
     /// movers' exact positions must already be in `ctx.exact`; `prev` holds
     /// their previous anchors.
-    pub(crate) fn reevaluate_batch(
+    pub(crate) fn reevaluate_batch<B: srb_index::SpatialBackend>(
         &mut self,
-        ctx: &mut EvalCtx<'_>,
+        ctx: &mut EvalCtx<'_, B>,
         qid: QueryId,
         movers: &[ObjectId],
         prev: &FastMap<ObjectId, Point>,
@@ -251,7 +251,12 @@ impl QueryProcessor {
     /// Re-runs a kNN query from scratch and installs the fresh results and
     /// quarantine (used when object churn invalidates the incremental
     /// cases). No-op for range queries and unknown ids.
-    pub(crate) fn refold_knn(&mut self, ctx: &mut EvalCtx<'_>, qid: QueryId, space: &Rect) {
+    pub(crate) fn refold_knn<B: srb_index::SpatialBackend>(
+        &mut self,
+        ctx: &mut EvalCtx<'_, B>,
+        qid: QueryId,
+        space: &Rect,
+    ) {
         let Some(mut qs) = self.queries.get_mut(qid.index()).and_then(Option::take) else {
             return;
         };

@@ -33,8 +33,8 @@ pub(crate) struct Reeval {
 /// Reevaluates `qs` after object `oid` reported a move from `p_lst` to
 /// `pos`. `pos` must already be recorded in `ctx.exact` and in the object
 /// tree (as a degenerate rectangle) by the caller.
-pub(crate) fn reevaluate(
-    ctx: &mut EvalCtx<'_>,
+pub(crate) fn reevaluate<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     qs: &mut QueryState,
     oid: ObjectId,
     pos: Point,
@@ -56,8 +56,8 @@ pub(crate) fn reevaluate(
 /// queries flip each mover's membership independently; kNN queries are
 /// reevaluated from scratch (every mover's exact position is already in
 /// `ctx.exact`, so the evaluation is consistent and probes stay lazy).
-pub(crate) fn reevaluate_multi(
-    ctx: &mut EvalCtx<'_>,
+pub(crate) fn reevaluate_multi<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     qs: &mut QueryState,
     movers: &[ObjectId],
     prev: &srb_hash::FastMap<ObjectId, Point>,
@@ -136,8 +136,8 @@ fn quarantine_circle(qs: &QueryState) -> Circle {
     }
 }
 
-fn reevaluate_knn_unordered(
-    ctx: &mut EvalCtx<'_>,
+fn reevaluate_knn_unordered<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     qs: &mut QueryState,
     pos: Point,
     p_lst: Point,
@@ -164,8 +164,8 @@ fn reevaluate_knn_unordered(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn reevaluate_knn_ordered(
-    ctx: &mut EvalCtx<'_>,
+fn reevaluate_knn_ordered<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     qs: &mut QueryState,
     oid: ObjectId,
     pos: Point,
@@ -289,8 +289,8 @@ fn reevaluate_knn_ordered(
     Reeval { results_changed, quarantine_changed }
 }
 
-fn full_reevaluate(
-    ctx: &mut EvalCtx<'_>,
+fn full_reevaluate<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     qs: &mut QueryState,
     center: Point,
     k: usize,
@@ -309,8 +309,8 @@ fn full_reevaluate(
 /// Collects `(δ, Δ)` bounds for `seq` and verifies the §4.3 interleaving
 /// invariant `δ_1 ≤ Δ_1 ≤ δ_2 ≤ Δ_2 ≤ …`. Returns `None` when an object is
 /// missing or the invariant is broken.
-fn collect_ordered_bounds(
-    ctx: &EvalCtx<'_>,
+fn collect_ordered_bounds<B: srb_index::SpatialBackend>(
+    ctx: &EvalCtx<'_, B>,
     seq: &[ObjectId],
     center: Point,
 ) -> Option<Vec<(f64, f64)>> {

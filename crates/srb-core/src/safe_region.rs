@@ -28,8 +28,8 @@ const CLEARANCE_FRACTION: f64 = 0.05;
 /// regions (probed but not yet recomputed), triggering the midpoint
 /// replacement rule of §5.2.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn compute_safe_region(
-    ctx: &mut EvalCtx<'_>,
+pub(crate) fn compute_safe_region<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     grid: &GridIndex,
     queries: &[Option<QueryState>],
     oid: ObjectId,
@@ -93,8 +93,8 @@ pub(crate) fn compute_safe_region(
 /// when a probe during new-query evaluation only needs the intersection
 /// `p.sr ∩ p.sr_Q` (§5, case 1).
 #[allow(dead_code)]
-pub(crate) fn sr_for_single_query(
-    ctx: &mut EvalCtx<'_>,
+pub(crate) fn sr_for_single_query<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     grid: &GridIndex,
     qs: &QueryState,
     oid: ObjectId,
@@ -117,8 +117,8 @@ enum SrQ {
     Whole,
 }
 
-fn sr_for_query(
-    ctx: &mut EvalCtx<'_>,
+fn sr_for_query<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
     qs: &QueryState,
     oid: ObjectId,
     pos: Point,
@@ -205,7 +205,13 @@ fn sr_for_query(
 /// rule and queues the neighbor's own safe region for recomputation.
 /// Without the probe the ring collapses to a sliver pinned at `pos`, and
 /// the object would have to update continuously.
-fn neighbor_bound(ctx: &mut EvalCtx<'_>, o: ObjectId, q: Point, pos: Point, inner: bool) -> f64 {
+fn neighbor_bound<B: srb_index::SpatialBackend>(
+    ctx: &mut EvalCtx<'_, B>,
+    o: ObjectId,
+    q: Point,
+    pos: Point,
+    inner: bool,
+) -> f64 {
     let d = pos.dist(q);
     if let Some(&pt) = ctx.exact.get(&o) {
         return (pt.dist(q) + d) * 0.5;

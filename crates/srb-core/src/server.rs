@@ -1,8 +1,10 @@
 //! The database server façade (paper §3.1, Algorithm 1).
 //!
 //! The server wires together the four components of Figure 3.1, each an
-//! explicit, separately-testable layer: the [`ObjectIndex`] (an R\*-tree
-//! over safe regions plus the object state table), the grid query index
+//! explicit, separately-testable layer: the [`ObjectIndex`] (a pluggable
+//! [`SpatialBackend`] over safe regions — the paper's R\*-tree by default,
+//! the uniform grid as the update-optimized alternative — plus the object
+//! state table), the grid query index
 //! (owned by the [`QueryProcessor`] together with evaluation §4.1–§4.2 and
 //! reevaluation §4.3), and the [`LocationManager`] (safe-region computation
 //! §5, leases, and the deferred probe queue). All communication costs flow
@@ -22,6 +24,7 @@ use crate::query::{Quarantine, QuerySpec, QueryState, ResultChange};
 use crate::scratch::{BatchScratch, OpBuffers};
 use srb_geom::{Point, Rect};
 use srb_hash::FastMap;
+use srb_index::{RStarTree, SpatialBackend};
 
 /// Response to a query registration: the id, the initial results, and the
 /// updated safe regions of every object probed during evaluation (step 5 of
@@ -65,9 +68,11 @@ pub struct SequencedUpdate {
 }
 
 /// The SRB database server: a thin façade over the Figure-3.1 layers.
-pub struct Server {
+/// Generic in the object-index backend `B`, defaulted to the paper's
+/// R\*-tree so `Server` (no annotation) keeps its historical meaning.
+pub struct Server<B: SpatialBackend = RStarTree> {
     config: ServerConfig,
-    index: ObjectIndex,
+    index: ObjectIndex<B>,
     processor: QueryProcessor,
     location: LocationManager,
     costs: CostTracker,
@@ -78,10 +83,25 @@ pub struct Server {
 }
 
 impl Server {
-    /// Creates a server with the given configuration.
+    /// Creates an R\*-tree-backed server with the given configuration.
+    /// Panics when `config.backend` selects a different backend — use
+    /// [`Server::with_backend`] with an explicit type for those.
     pub fn new(config: ServerConfig) -> Self {
+        Self::with_backend(config)
+    }
+
+    /// Creates a server with the default (paper Table 7.1) configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServerConfig::default())
+    }
+}
+
+impl<B: SpatialBackend> Server<B> {
+    /// Creates a server whose object index uses the backend `B`, built from
+    /// `config.backend`. Panics when the config variant does not match `B`.
+    pub fn with_backend(config: ServerConfig) -> Self {
         Server {
-            index: ObjectIndex::new(config.tree),
+            index: ObjectIndex::with_backend(&config.backend, config.space),
             processor: QueryProcessor::new(config.space, config.grid_m),
             location: LocationManager::new(),
             costs: CostTracker::default(),
@@ -89,11 +109,6 @@ impl Server {
             scratch: BatchScratch::default(),
             config,
         }
-    }
-
-    /// Creates a server with the default (paper Table 7.1) configuration.
-    pub fn with_defaults() -> Self {
-        Self::new(ServerConfig::default())
     }
 
     // ------------------------------------------------------------------
@@ -106,7 +121,7 @@ impl Server {
     }
 
     /// The object index layer (Figure 3.1 "object index").
-    pub fn object_index(&self) -> &ObjectIndex {
+    pub fn object_index(&self) -> &ObjectIndex<B> {
         &self.index
     }
 
@@ -738,8 +753,8 @@ impl Server {
 
 /// Builds the evaluation context from the split server layers.
 #[allow(clippy::too_many_arguments)]
-fn ctx<'a>(
-    index: &'a ObjectIndex,
+fn ctx<'a, B: SpatialBackend>(
+    index: &'a ObjectIndex<B>,
     costs: &'a mut CostTracker,
     work: &'a mut WorkStats,
     exact: &'a mut FastMap<ObjectId, Point>,
@@ -747,7 +762,7 @@ fn ctx<'a>(
     provider: &'a mut dyn LocationProvider,
     max_speed: Option<f64>,
     now: f64,
-) -> EvalCtx<'a> {
+) -> EvalCtx<'a, B> {
     EvalCtx {
         tree: index.tree(),
         objects: index.objects(),

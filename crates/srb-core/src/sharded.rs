@@ -114,9 +114,9 @@ struct CoordScratch {
 /// coordinator that owns cross-shard query merging. See the module docs for
 /// the partitioning and merge rules. One shard means pure delegation —
 /// behaviorally identical to a plain [`Server`].
-pub struct ShardedServer {
+pub struct ShardedServer<B: srb_index::SpatialBackend = srb_index::RStarTree> {
     config: ServerConfig,
-    shards: Vec<Server>,
+    shards: Vec<Server<B>>,
     /// Object → owning shard, indexed by `ObjectId::index()`.
     owner: Vec<Option<u32>>,
     /// Coordinator copy of each query's spec, indexed by `QueryId::index()`.
@@ -138,13 +138,29 @@ pub struct ShardedServer {
 }
 
 impl ShardedServer {
-    /// Creates a sharded server with `shards` shard-local stacks, each
-    /// configured identically.
+    /// Creates an R\*-tree-backed sharded server with `shards` shard-local
+    /// stacks, each configured identically. Panics when `config.backend`
+    /// selects a different backend — use [`ShardedServer::with_backend`]
+    /// with an explicit type for those.
     pub fn new(config: ServerConfig, shards: usize) -> Self {
+        Self::with_backend(config, shards)
+    }
+
+    /// Creates a single-shard server with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServerConfig::default(), 1)
+    }
+}
+
+impl<B: srb_index::SpatialBackend> ShardedServer<B> {
+    /// Creates a sharded server whose per-shard object indexes use the
+    /// backend `B`, built from `config.backend`. Panics when the config
+    /// variant does not match `B`.
+    pub fn with_backend(config: ServerConfig, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
         srb_obs::gauge!("sharded.shards").set(shards as u64);
         ShardedServer {
-            shards: (0..shards).map(|_| Server::new(config)).collect(),
+            shards: (0..shards).map(|_| Server::with_backend(config)).collect(),
             owner: Vec::new(),
             specs: Vec::new(),
             merged: Vec::new(),
@@ -156,11 +172,6 @@ impl ShardedServer {
             scratch: CoordScratch::default(),
             config,
         }
-    }
-
-    /// Creates a single-shard server with the default configuration.
-    pub fn with_defaults() -> Self {
-        Self::new(ServerConfig::default(), 1)
     }
 
     /// Overrides the fan-out thread count (otherwise [`configured_threads`]
@@ -185,13 +196,13 @@ impl ShardedServer {
     }
 
     /// The shard-local server stacks, in shard order.
-    pub fn shards(&self) -> &[Server] {
+    pub fn shards(&self) -> &[Server<B>] {
         &self.shards
     }
 
     /// Total number of registered objects across all shards.
     pub fn object_count(&self) -> usize {
-        self.shards.iter().map(Server::object_count).sum()
+        self.shards.iter().map(|s| s.object_count()).sum()
     }
 
     /// Number of registered queries (identical on every shard).
@@ -244,12 +255,12 @@ impl ShardedServer {
 
     /// Total object-index node visits across shards.
     pub fn index_visits(&self) -> u64 {
-        self.shards.iter().map(Server::index_visits).sum()
+        self.shards.iter().map(|s| s.index_visits()).sum()
     }
 
     /// Total grid-index footprint across shards.
     pub fn grid_footprint(&self) -> usize {
-        self.shards.iter().map(Server::grid_footprint).sum()
+        self.shards.iter().map(|s| s.grid_footprint()).sum()
     }
 
     /// Verifies per-shard consistency plus the coordinator's owner map.
@@ -282,7 +293,7 @@ impl ShardedServer {
 
     /// Most entries any shard's scratch buffer held during one operation.
     pub fn scratch_high_water(&self) -> usize {
-        self.shards.iter().map(Server::scratch_high_water).max().unwrap_or(0)
+        self.shards.iter().map(|s| s.scratch_high_water()).max().unwrap_or(0)
     }
 
     // ------------------------------------------------------------------
@@ -538,7 +549,10 @@ impl ShardedServer {
         updates: &[SequencedUpdate],
         provider: &P,
         now: f64,
-    ) -> Vec<(ObjectId, UpdateResponse)> {
+    ) -> Vec<(ObjectId, UpdateResponse)>
+    where
+        B: Send,
+    {
         if self.shards.len() == 1 {
             let mut adapter = SyncAdapter(provider);
             return self.shards[0].handle_sequenced_updates(updates, &mut adapter, now);
@@ -589,7 +603,7 @@ impl ShardedServer {
 
     /// The earliest pending deferred-probe time across all shards.
     pub fn next_deferred_due(&mut self) -> Option<f64> {
-        self.shards.iter_mut().filter_map(Server::next_deferred_due).min_by(|a, b| a.total_cmp(b))
+        self.shards.iter_mut().filter_map(|s| s.next_deferred_due()).min_by(|a, b| a.total_cmp(b))
     }
 
     /// Fires every deferred probe due at or before `now` on every shard,
@@ -625,7 +639,7 @@ impl ShardedServer {
         self.owner.get(id.index()).copied().flatten().map(|s| s as usize)
     }
 
-    fn owning_shard(&self, id: ObjectId) -> Option<&Server> {
+    fn owning_shard(&self, id: ObjectId) -> Option<&Server<B>> {
         if self.shards.len() == 1 {
             return Some(&self.shards[0]);
         }
@@ -922,8 +936,8 @@ type ShardBatchResult = (Vec<(ObjectId, UpdateResponse)>, Option<u64>);
 /// Runs each shard's batch on its own rayon task via recursive binary
 /// splitting of the (disjoint) shard slice. Each shard's wall-clock batch
 /// duration rides along with its responses.
-fn fan_out<P: SyncProvider>(
-    shards: &mut [Server],
+fn fan_out<B: srb_index::SpatialBackend + Send, P: SyncProvider>(
+    shards: &mut [Server<B>],
     batches: &[Vec<SequencedUpdate>],
     provider: &P,
     now: f64,

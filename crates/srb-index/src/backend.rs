@@ -1,0 +1,329 @@
+//! The pluggable object-index seam: [`SpatialBackend`] is the interface the
+//! SRB framework's object index (paper Figure 3.1) is written against, so
+//! the index structure under the monitoring stack can be swapped without
+//! touching the query-processing layers.
+//!
+//! Two backends ship in this crate:
+//!
+//! - [`RStarTree`](crate::RStarTree) — the paper's §7.1 choice: an R\*-tree
+//!   with the bottom-up update fast path of Lee et al. (VLDB 2003);
+//! - [`UniformGrid`](crate::UniformGrid) — the cell-bucketed index the
+//!   update-heavy moving-object literature favors (e.g. the distributed
+//!   range-query systems in PAPERS.md): O(1) relocation inside a cell, at
+//!   the price of scan-based search.
+//!
+//! Both expose identical semantics (verified by the backend-equivalence
+//! proptest in `tests/prop_backend.rs`): rectangles keyed by [`EntryId`],
+//! closed-interval intersection search, and incremental best-first
+//! nearest-neighbor browsing through the [`NearestStream`] interface the
+//! paper's Algorithm 2 consumes.
+
+use crate::node::NodeId;
+use crate::GridConfig;
+use crate::{EntryId, LeafEntry, Neighbor, RStarTree, TreeConfig, UpdateOutcome};
+use srb_geom::{Point, Rect};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Selects and parameterizes the object-index backend.
+///
+/// Lives on `ServerConfig`/`SimConfig` so the whole monitoring stack — the
+/// single-stack server, every shard of the sharded engine, and the
+/// simulator — builds its index through one switch.
+#[derive(Clone, Copy, Debug)]
+pub enum BackendConfig {
+    /// The R\*-tree reference backend (paper §7.1).
+    RStar(TreeConfig),
+    /// The uniform-grid backend (cell-bucketed safe regions).
+    Grid(GridConfig),
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig::RStar(TreeConfig::default())
+    }
+}
+
+impl BackendConfig {
+    /// Short label for logs, benches, and JSON rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendConfig::RStar(_) => "rstar",
+            BackendConfig::Grid(_) => "grid",
+        }
+    }
+
+    /// Reads the backend from the `SRB_BACKEND` environment variable:
+    /// `grid` selects [`UniformGrid`] defaults, `rstar` (or unset) the
+    /// R\*-tree defaults. Any other value panics — a typo must not silently
+    /// run the wrong experiment.
+    pub fn from_env() -> Self {
+        match std::env::var("SRB_BACKEND") {
+            Err(_) => BackendConfig::default(),
+            Ok(v) if v.eq_ignore_ascii_case("grid") => BackendConfig::Grid(GridConfig::default()),
+            Ok(v) if v.eq_ignore_ascii_case("rstar") || v.is_empty() => BackendConfig::default(),
+            Ok(v) => panic!("SRB_BACKEND={v:?} is not a known backend (use \"rstar\" or \"grid\")"),
+        }
+    }
+}
+
+/// Structural snapshot of a backend, for logs and bench rows. The fields
+/// generalize over tree- and grid-shaped indexes.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendStats {
+    /// Backend label (matches [`BackendConfig::label`]).
+    pub backend: &'static str,
+    /// Number of entries stored.
+    pub len: usize,
+    /// Structure depth: tree height, or 1 for a flat grid.
+    pub depth: usize,
+    /// Occupied structural units: live tree nodes, or non-empty grid cells.
+    pub nodes: usize,
+    /// Current value of the deterministic work-unit (visit) counter.
+    pub visits: u64,
+}
+
+/// Incremental best-first nearest-neighbor browsing: entries come out in
+/// non-decreasing `δ(q, rect)` order, and [`peek_dist`](Self::peek_dist)
+/// exposes the next key without consuming it so callers can interleave the
+/// browse with externally probed exact locations (the paper's Algorithm 2).
+pub trait NearestStream: Iterator<Item = Neighbor> {
+    /// The `δ` key of the next entry/structural unit, or `None` when the
+    /// browse is exhausted.
+    fn peek_dist(&self) -> Option<f64>;
+}
+
+/// A spatial index over `EntryId`-keyed rectangles, as the object index of
+/// the SRB framework requires (paper §3.2): frequent-update support with a
+/// bottom-up fast path, closed-interval rectangle search, and best-first
+/// nearest-neighbor browsing.
+///
+/// Implementations must agree on *semantics* (same result sets for the same
+/// contents); they are free to differ in enumeration order, cost profile,
+/// and the [`UpdateOutcome`] fast-path classification.
+pub trait SpatialBackend {
+    /// The backend's best-first browse iterator (a GAT so backends can
+    /// borrow internal structures without boxing).
+    type Nearest<'a>: NearestStream + 'a
+    where
+        Self: 'a;
+
+    /// Builds an empty backend over `space` from the matching
+    /// [`BackendConfig`] variant. Panics on a mismatched variant: silently
+    /// running an experiment against the wrong backend parameters would be
+    /// worse than failing.
+    fn build(config: &BackendConfig, space: Rect) -> Self
+    where
+        Self: Sized;
+
+    /// Backend label (matches [`BackendConfig::label`]).
+    fn label() -> &'static str
+    where
+        Self: Sized;
+
+    /// Number of entries stored.
+    fn len(&self) -> usize;
+
+    /// True when no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an entry; `id` must not already be present.
+    fn insert(&mut self, id: EntryId, rect: Rect);
+
+    /// Removes an entry, returning its stored rectangle.
+    fn remove(&mut self, id: EntryId) -> Option<Rect>;
+
+    /// Moves an existing entry to `new_rect`, preferring the backend's
+    /// cheap relocation path; inserts fresh when `id` was not present.
+    fn update(&mut self, id: EntryId, new_rect: Rect) -> UpdateOutcome;
+
+    /// The stored rectangle of `id`, if present.
+    fn get(&self, id: EntryId) -> Option<Rect>;
+
+    /// Visits every entry whose rectangle intersects `query` (closed test).
+    /// Enumeration order is backend-specific but deterministic.
+    fn search(&self, query: &Rect, f: &mut dyn FnMut(&LeafEntry));
+
+    /// Collects every entry intersecting `query` into a vector.
+    fn search_vec(&self, query: &Rect) -> Vec<LeafEntry> {
+        let mut out = Vec::new();
+        self.search(query, &mut |e| out.push(*e));
+        out
+    }
+
+    /// Starts a best-first browse from `q`, allocating a fresh frontier.
+    fn nearest_iter(&self, q: Point) -> Self::Nearest<'_>;
+
+    /// Starts a best-first browse from `q` reusing `scratch`'s frontier
+    /// storage: after warmup, repeated browses perform no heap allocation.
+    fn nearest_iter_with<'a>(
+        &'a self,
+        q: Point,
+        scratch: &'a mut NearestScratch,
+    ) -> Self::Nearest<'a>;
+
+    /// The deterministic work-unit counter: structural units (tree nodes or
+    /// grid cells) visited by searches and browses since the last
+    /// [`reset_visits`](Self::reset_visits).
+    fn visits(&self) -> u64;
+
+    /// Resets the work-unit counter.
+    fn reset_visits(&self);
+
+    /// Exhaustively verifies structural invariants; panics on violation.
+    fn check_invariants(&self);
+
+    /// Structural snapshot for logs and bench rows.
+    fn stats(&self) -> BackendStats;
+}
+
+// ---------------------------------------------------------------------------
+// Shared best-first frontier
+// ---------------------------------------------------------------------------
+
+/// One frontier element of a best-first browse: a structural unit (tree
+/// node or grid cell) or a concrete entry, keyed by min-distance.
+pub(crate) struct HeapItem {
+    pub(crate) dist: f64,
+    pub(crate) kind: HeapKind,
+}
+
+/// What a [`HeapItem`] refers to. `Node` doubles as the grid's cell index —
+/// both backends fit their structural ids in a `u32`.
+#[derive(Clone, Copy)]
+pub(crate) enum HeapKind {
+    Node(NodeId),
+    Entry(EntryId, Rect),
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist.total_cmp(&other.dist)
+    }
+}
+
+/// Reusable frontier storage for [`SpatialBackend::nearest_iter_with`]:
+/// holds the best-first binary heap's buffer between browses so
+/// steady-state nearest-neighbor search allocates nothing (the kNN leg of
+/// the allocation-free hot path, pinned by `alloc_steady.rs`).
+#[derive(Default)]
+pub struct NearestScratch {
+    buf: Vec<Reverse<HeapItem>>,
+}
+
+impl NearestScratch {
+    /// Creates an empty scratch; capacity grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retained frontier capacity, in elements (diagnostic).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Hands the (empty, capacity-retaining) buffer to a starting browse.
+    pub(crate) fn take(&mut self) -> BinaryHeap<Reverse<HeapItem>> {
+        BinaryHeap::from(std::mem::take(&mut self.buf))
+    }
+
+    /// Takes the finished browse's buffer back, keeping its capacity.
+    pub(crate) fn put(&mut self, heap: BinaryHeap<Reverse<HeapItem>>) {
+        let mut buf = heap.into_vec();
+        buf.clear();
+        self.buf = buf;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the R*-tree
+// ---------------------------------------------------------------------------
+
+impl SpatialBackend for RStarTree {
+    type Nearest<'a> = crate::NearestIter<'a>;
+
+    fn build(config: &BackendConfig, _space: Rect) -> Self {
+        match config {
+            BackendConfig::RStar(cfg) => RStarTree::new(*cfg),
+            other => panic!("BackendConfig::{other:?} cannot build an RStarTree"),
+        }
+    }
+
+    fn label() -> &'static str {
+        "rstar"
+    }
+
+    fn len(&self) -> usize {
+        RStarTree::len(self)
+    }
+
+    fn insert(&mut self, id: EntryId, rect: Rect) {
+        RStarTree::insert(self, id, rect);
+    }
+
+    fn remove(&mut self, id: EntryId) -> Option<Rect> {
+        RStarTree::remove(self, id)
+    }
+
+    fn update(&mut self, id: EntryId, new_rect: Rect) -> UpdateOutcome {
+        RStarTree::update(self, id, new_rect)
+    }
+
+    fn get(&self, id: EntryId) -> Option<Rect> {
+        RStarTree::get(self, id)
+    }
+
+    fn search(&self, query: &Rect, f: &mut dyn FnMut(&LeafEntry)) {
+        RStarTree::search(self, query, |e| f(e));
+    }
+
+    fn nearest_iter(&self, q: Point) -> Self::Nearest<'_> {
+        RStarTree::nearest_iter(self, q)
+    }
+
+    fn nearest_iter_with<'a>(
+        &'a self,
+        q: Point,
+        scratch: &'a mut NearestScratch,
+    ) -> Self::Nearest<'a> {
+        RStarTree::nearest_iter_with(self, q, scratch)
+    }
+
+    fn visits(&self) -> u64 {
+        RStarTree::visits(self)
+    }
+
+    fn reset_visits(&self) {
+        RStarTree::reset_visits(self);
+    }
+
+    fn check_invariants(&self) {
+        RStarTree::check_invariants(self);
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            backend: "rstar",
+            len: self.len(),
+            depth: self.height(),
+            nodes: self.live_nodes(),
+            visits: self.visits(),
+        }
+    }
+}

@@ -1,37 +1,51 @@
 //! # srb-index
 //!
-//! A from-scratch R\*-tree (Beckmann et al., SIGMOD 1990) used as the
-//! *object index* of the SRB monitoring framework (paper §3.2): it stores the
-//! current safe region of every moving object and supports
+//! The *object-index layer* of the SRB monitoring framework (paper §3.2,
+//! Figure 3.1): spatial indexes over the current safe region of every
+//! moving object, behind the pluggable [`SpatialBackend`] trait. Every
+//! backend supports
 //!
-//! - **frequent updates** via a bottom-up fast path ([`RStarTree::update`];
-//!   Lee et al., VLDB 2003 — the technique the paper adopts in §7.1),
-//! - **range search** over rectangles ([`RStarTree::search`]),
+//! - **frequent updates** via a cheap-relocation fast path classified by
+//!   [`UpdateOutcome`] (for the R\*-tree, the bottom-up technique of Lee et
+//!   al., VLDB 2003 — what the paper adopts in §7.1),
+//! - **range search** over rectangles ([`SpatialBackend::search`]), and
 //! - **incremental best-first nearest-neighbor browsing**
-//!   ([`RStarTree::nearest_iter`]; Hjaltason & Samet distance browsing, the
-//!   paradigm of the paper's Algorithm 2), and
-//! - **STR bulk loading** ([`bulk_load`]) — used by the PRD baseline, which
-//!   rebuilds its index from exact positions every period.
+//!   ([`SpatialBackend::nearest_iter`]; Hjaltason & Samet distance
+//!   browsing, the paradigm of the paper's Algorithm 2), with a reusable
+//!   [`NearestScratch`] frontier for allocation-free steady-state kNN.
 //!
-//! The tree is arena-allocated, entirely safe Rust, and instrumented with a
-//! node-visit counter so experiments can report deterministic work units
-//! alongside wall-clock time. When the `obs` feature is on (default), the
-//! tree additionally publishes per-search node-visit histograms
-//! (`index.search.visits`, `index.nn.visits`) and update-path counters
-//! (`index.update.*`, `index.splits`, `index.forced_reinserts`) through
-//! the `srb-obs` registry; telemetry only observes and never alters tree
-//! behavior.
+//! Two backends ship here: [`RStarTree`], the from-scratch R\*-tree
+//! (Beckmann et al., SIGMOD 1990) this file implements, and
+//! [`UniformGrid`], a cell-bucketed grid index. [`bulk_load`] (STR) serves
+//! the PRD baseline, which rebuilds its index from exact positions every
+//! period. Backends are selected through [`BackendConfig`] (see
+//! `DESIGN.md` §13 for the tradeoff).
+//!
+//! Everything is arena- or bucket-allocated, entirely safe Rust, and
+//! instrumented with a deterministic visit counter so experiments can
+//! report work units alongside wall-clock time. When the `obs` feature is
+//! on (default), the backends additionally publish per-search visit
+//! histograms (`index.search.visits`, `index.nn.visits`), update-path
+//! counters (`index.update.*`, `index.splits`, `index.forced_reinserts`),
+//! and grid counters (`index.grid.cell_visits`, `index.grid.bucket_scans`,
+//! `index.grid.relocations`) through the `srb-obs` registry; telemetry only
+//! observes and never alters index behavior.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod backend;
 mod bulk;
+mod grid;
 mod node;
 mod split;
 
+pub use backend::{BackendConfig, BackendStats, NearestScratch, NearestStream, SpatialBackend};
 pub use bulk::bulk_load;
+pub use grid::{GridConfig, GridNearest, UniformGrid};
 pub use node::{EntryId, LeafEntry};
 
+use backend::{HeapItem, HeapKind};
 use node::{Node, NodeId, NodeKind, NO_NODE};
 use split::{mbr_of, rstar_split};
 use srb_geom::{Point, Rect};
@@ -41,7 +55,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Node capacity configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TreeConfig {
     /// Maximum entries per node (`M`).
     pub max_entries: usize,
@@ -59,15 +73,98 @@ impl Default for TreeConfig {
 }
 
 impl TreeConfig {
-    /// Validates and normalizes the configuration.
-    pub fn validated(mut self) -> Self {
-        assert!(self.max_entries >= 4, "max_entries must be at least 4");
-        self.min_entries = self.min_entries.clamp(2, self.max_entries / 2);
-        self.reinsert_count =
-            self.reinsert_count.clamp(1, self.max_entries + 1 - 2 * self.min_entries);
-        self
+    /// Validates the configuration, returning a typed error for any value
+    /// that would corrupt splits or forced reinsertion: `max_entries < 4`,
+    /// `min_entries` outside `[2, max_entries / 2]`, or a `reinsert_count`
+    /// outside `[1, max_entries + 1 - 2 * min_entries]` (evicting more
+    /// would leave an overflowing node unable to split into two legal
+    /// halves).
+    pub fn try_validated(self) -> Result<Self, ConfigError> {
+        if self.max_entries < 4 {
+            return Err(ConfigError::MaxEntriesTooSmall { max_entries: self.max_entries });
+        }
+        if self.min_entries < 2 || self.min_entries > self.max_entries / 2 {
+            return Err(ConfigError::BadMinEntries {
+                min_entries: self.min_entries,
+                max_entries: self.max_entries,
+            });
+        }
+        let limit = self.max_entries + 1 - 2 * self.min_entries;
+        if self.reinsert_count < 1 || self.reinsert_count > limit {
+            return Err(ConfigError::BadReinsertCount {
+                reinsert_count: self.reinsert_count,
+                limit,
+            });
+        }
+        Ok(self)
+    }
+
+    /// Panicking form of [`try_validated`](Self::try_validated) — invalid
+    /// configurations fail loudly at construction instead of silently
+    /// corrupting the tree later.
+    pub fn validated(self) -> Self {
+        match self.try_validated() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("invalid TreeConfig: {e}"),
+        }
     }
 }
+
+/// A structurally invalid index configuration, reported at construction
+/// time by [`TreeConfig::try_validated`] / [`GridConfig::try_validated`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_entries` below the minimum of 4 a split requires.
+    MaxEntriesTooSmall {
+        /// The offending node capacity.
+        max_entries: usize,
+    },
+    /// `min_entries` outside `[2, max_entries / 2]` — a split could not
+    /// give both halves a legal fill.
+    BadMinEntries {
+        /// The offending minimum fill.
+        min_entries: usize,
+        /// The capacity it was checked against.
+        max_entries: usize,
+    },
+    /// `reinsert_count` outside `[1, max_entries + 1 - 2 * min_entries]`.
+    BadReinsertCount {
+        /// The offending eviction count.
+        reinsert_count: usize,
+        /// The largest legal eviction count for this configuration.
+        limit: usize,
+    },
+    /// Grid resolution of zero, or large enough to overflow cell ids.
+    BadGridResolution {
+        /// The offending per-axis resolution.
+        m: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::MaxEntriesTooSmall { max_entries } => {
+                write!(f, "max_entries must be at least 4, got {max_entries}")
+            }
+            ConfigError::BadMinEntries { min_entries, max_entries } => write!(
+                f,
+                "min_entries must lie in [2, max_entries / 2 = {}], got {min_entries}",
+                max_entries / 2
+            ),
+            ConfigError::BadReinsertCount { reinsert_count, limit } => write!(
+                f,
+                "reinsert_count must lie in [1, max_entries + 1 - 2 * min_entries = {limit}], \
+                 got {reinsert_count}"
+            ),
+            ConfigError::BadGridResolution { m } => {
+                write!(f, "grid resolution must lie in [1, 32768], got {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Outcome of [`RStarTree::update`], distinguishing the bottom-up fast paths
 /// from the slow delete+reinsert path (reported by the ablation benches).
@@ -597,14 +694,40 @@ impl RStarTree {
     /// `δ(q, rect)` (Hjaltason & Samet) — the traversal underlying the
     /// paper's Algorithm 2.
     pub fn nearest_iter(&self, q: Point) -> NearestIter<'_> {
-        let mut heap = BinaryHeap::new();
+        self.nearest_impl(q, BinaryHeap::new(), None)
+    }
+
+    /// [`nearest_iter`](Self::nearest_iter) reusing `scratch`'s frontier
+    /// storage: the browse's binary heap is taken from (and on drop handed
+    /// back to) the scratch, so steady-state kNN search performs no heap
+    /// allocation after warmup.
+    pub fn nearest_iter_with<'a>(
+        &'a self,
+        q: Point,
+        scratch: &'a mut NearestScratch,
+    ) -> NearestIter<'a> {
+        let heap = scratch.take();
+        self.nearest_impl(q, heap, Some(scratch))
+    }
+
+    fn nearest_impl<'a>(
+        &'a self,
+        q: Point,
+        mut heap: BinaryHeap<Reverse<HeapItem>>,
+        scratch: Option<&'a mut NearestScratch>,
+    ) -> NearestIter<'a> {
         if self.len > 0 {
             heap.push(Reverse(HeapItem {
                 dist: self.node(self.root).rect.min_dist(q),
                 kind: HeapKind::Node(self.root),
             }));
         }
-        NearestIter { tree: self, q, heap, visited: 0 }
+        NearestIter { tree: self, q, heap, scratch, visited: 0 }
+    }
+
+    /// Number of live (allocated, non-freed) nodes.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
     }
 
     // ------------------------------------------------------------------
@@ -715,43 +838,15 @@ impl Iterator for AllEntries<'_> {
     }
 }
 
-struct HeapItem {
-    dist: f64,
-    kind: HeapKind,
-}
-
-#[derive(Clone, Copy)]
-enum HeapKind {
-    Node(NodeId),
-    Entry(EntryId, Rect),
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
-    }
-}
-
-impl Eq for HeapItem {}
-
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.dist.total_cmp(&other.dist)
-    }
-}
-
 /// Iterator of [`RStarTree::nearest_iter`]: yields entries in
 /// non-decreasing `δ(q, rect)` order.
 pub struct NearestIter<'a> {
     tree: &'a RStarTree,
     q: Point,
     heap: BinaryHeap<Reverse<HeapItem>>,
+    /// When the browse was started with a [`NearestScratch`], the heap's
+    /// buffer is handed back to it on drop.
+    scratch: Option<&'a mut NearestScratch>,
     /// Node pops this browse performed; published as one histogram sample
     /// when the iterator is dropped.
     visited: u64,
@@ -762,6 +857,9 @@ impl Drop for NearestIter<'_> {
         if self.visited > 0 {
             srb_obs::histogram!("index.nn.visits").record(self.visited);
         }
+        if let Some(scratch) = self.scratch.take() {
+            scratch.put(std::mem::take(&mut self.heap));
+        }
     }
 }
 
@@ -771,6 +869,12 @@ impl NearestIter<'_> {
     /// Algorithm 2 requires.
     pub fn peek_dist(&self) -> Option<f64> {
         self.heap.peek().map(|Reverse(item)| item.dist)
+    }
+}
+
+impl NearestStream for NearestIter<'_> {
+    fn peek_dist(&self) -> Option<f64> {
+        NearestIter::peek_dist(self)
     }
 }
 
@@ -974,5 +1078,63 @@ mod tests {
         assert!(t.nearest_iter(Point::new(0.5, 0.5)).next().is_none());
         assert_eq!(t.get(0), None);
         t.check_invariants();
+    }
+
+    #[test]
+    fn config_validation_rejects_corrupting_values() {
+        assert!(TreeConfig::default().try_validated().is_ok());
+        assert_eq!(
+            TreeConfig { max_entries: 3, ..TreeConfig::default() }.try_validated(),
+            Err(ConfigError::MaxEntriesTooSmall { max_entries: 3 })
+        );
+        // min_entries > max_entries / 2 would make splits impossible.
+        assert_eq!(
+            TreeConfig { max_entries: 8, min_entries: 5, reinsert_count: 1 }.try_validated(),
+            Err(ConfigError::BadMinEntries { min_entries: 5, max_entries: 8 })
+        );
+        assert_eq!(
+            TreeConfig { max_entries: 8, min_entries: 1, reinsert_count: 1 }.try_validated(),
+            Err(ConfigError::BadMinEntries { min_entries: 1, max_entries: 8 })
+        );
+        // Evicting too much would leave a split without two legal halves.
+        assert_eq!(
+            TreeConfig { max_entries: 8, min_entries: 4, reinsert_count: 2 }.try_validated(),
+            Err(ConfigError::BadReinsertCount { reinsert_count: 2, limit: 1 })
+        );
+        assert_eq!(
+            TreeConfig { max_entries: 8, min_entries: 3, reinsert_count: 0 }.try_validated(),
+            Err(ConfigError::BadReinsertCount { reinsert_count: 0, limit: 3 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TreeConfig")]
+    fn invalid_config_fails_loudly_at_construction() {
+        let _ = RStarTree::new(TreeConfig { max_entries: 8, min_entries: 7, reinsert_count: 1 });
+    }
+
+    #[test]
+    fn nearest_iter_with_reuses_scratch_capacity() {
+        let mut t = RStarTree::default();
+        for i in 0..200u64 {
+            t.insert(i, pt_rect(((i * 37) % 101) as f64 / 101.0, ((i * 61) % 97) as f64 / 97.0));
+        }
+        let q = Point::new(0.4, 0.6);
+        let plain: Vec<u64> = t.nearest_iter(q).map(|n| n.id).collect();
+        let mut scratch = NearestScratch::new();
+        let first: Vec<u64> = t.nearest_iter_with(q, &mut scratch).map(|n| n.id).collect();
+        assert_eq!(plain, first);
+        let cap = scratch.capacity();
+        assert!(cap > 0, "finished browse must hand its buffer back");
+        // An abandoned (partially consumed) browse must also hand it back.
+        {
+            let mut it = t.nearest_iter_with(q, &mut scratch);
+            assert_eq!(it.next().map(|n| n.id), plain.first().copied());
+            assert!(NearestStream::peek_dist(&it).is_some());
+        }
+        assert!(scratch.capacity() > 0);
+        let again: Vec<u64> = t.nearest_iter_with(q, &mut scratch).map(|n| n.id).collect();
+        assert_eq!(plain, again);
+        assert_eq!(scratch.capacity(), cap);
     }
 }

@@ -1,0 +1,139 @@
+//! Backend-equivalence property test: under a randomized workload of
+//! inserts, removals, updates, range searches, and nearest-neighbor
+//! browses, the [`RStarTree`] and the [`UniformGrid`] must produce
+//! *identical result sets* — the trait seam swaps cost profiles, never
+//! semantics. Both are additionally cross-checked against a brute-force
+//! oracle so an agreeing-but-wrong pair cannot slip through.
+
+use proptest::prelude::*;
+use srb_geom::{Point, Rect};
+use srb_index::{GridConfig, NearestStream, RStarTree, SpatialBackend, TreeConfig, UniformGrid};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, f64, f64, f64, f64),
+    Remove(u64),
+    Update(u64, f64, f64, f64, f64),
+    Search(f64, f64, f64, f64),
+    Nearest(f64, f64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let id = 0u64..40;
+    let coord = 0.0f64..1.0;
+    let half = 0.0f64..0.1;
+    prop_oneof![
+        (id.clone(), coord.clone(), coord.clone(), half.clone(), half.clone())
+            .prop_map(|(i, x, y, hx, hy)| Op::Insert(i, x, y, hx, hy)),
+        id.clone().prop_map(Op::Remove),
+        (id, coord.clone(), coord.clone(), half.clone(), half.clone())
+            .prop_map(|(i, x, y, hx, hy)| Op::Update(i, x, y, hx, hy)),
+        (coord.clone(), coord.clone(), half.clone(), half)
+            .prop_map(|(x, y, hx, hy)| Op::Search(x, y, hx, hy)),
+        (coord.clone(), coord).prop_map(|(x, y)| Op::Nearest(x, y)),
+    ]
+}
+
+fn rect(x: f64, y: f64, hx: f64, hy: f64) -> Rect {
+    Rect::centered(Point::new(x, y), hx, hy)
+}
+
+/// Sorted `(id)` result set of a range search.
+fn search_ids<B: SpatialBackend>(b: &B, q: &Rect) -> Vec<u64> {
+    let mut ids: Vec<u64> = b.search_vec(q).iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// The full browse as `(dist, id)` pairs sorted by `(dist, id)` — distances
+/// are a pure function of the stored rectangle, so two correct backends
+/// must produce identical sorted sequences even when ties reorder.
+fn nearest_pairs<B: SpatialBackend>(b: &B, q: Point) -> Vec<(f64, u64)> {
+    let mut prev = f64::NEG_INFINITY;
+    let mut out: Vec<(f64, u64)> = Vec::new();
+    let mut it = b.nearest_iter(q);
+    loop {
+        let peek = it.peek_dist();
+        let Some(n) = it.next() else { break };
+        // The stream contract: peek is a valid lower bound, order is
+        // non-decreasing.
+        assert!(peek.expect("peek before a yielded entry") <= n.dist + 1e-12);
+        assert!(n.dist >= prev - 1e-12, "browse out of order");
+        prev = n.dist;
+        out.push((n.dist, n.id));
+    }
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn grid_and_rstar_agree(
+        ops in prop::collection::vec(arb_op(), 1..120),
+        m in 2usize..24,
+    ) {
+        let mut tree = RStarTree::new(TreeConfig::default());
+        let mut grid = UniformGrid::new(GridConfig { m }, Rect::UNIT);
+        let mut oracle: HashMap<u64, Rect> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(id, x, y, hx, hy) => {
+                    if let std::collections::hash_map::Entry::Vacant(e) = oracle.entry(id) {
+                        let r = rect(x, y, hx, hy);
+                        tree.insert(id, r);
+                        grid.insert(id, r);
+                        e.insert(r);
+                    }
+                }
+                Op::Remove(id) => {
+                    let expected = oracle.remove(&id);
+                    prop_assert_eq!(tree.remove(id), expected);
+                    prop_assert_eq!(grid.remove(id), expected);
+                }
+                Op::Update(id, x, y, hx, hy) => {
+                    let r = rect(x, y, hx, hy);
+                    // Outcomes are backend-specific cost classifications;
+                    // only the resulting contents must agree.
+                    let _ = tree.update(id, r);
+                    let _ = grid.update(id, r);
+                    oracle.insert(id, r);
+                }
+                Op::Search(x, y, hx, hy) => {
+                    let q = rect(x, y, hx, hy);
+                    let got_tree = search_ids(&tree, &q);
+                    let got_grid = search_ids(&grid, &q);
+                    let mut expected: Vec<u64> = oracle
+                        .iter()
+                        .filter(|(_, r)| r.intersects(&q))
+                        .map(|(&id, _)| id)
+                        .collect();
+                    expected.sort_unstable();
+                    prop_assert_eq!(&got_tree, &expected);
+                    prop_assert_eq!(&got_grid, &expected);
+                }
+                Op::Nearest(x, y) => {
+                    let q = Point::new(x, y);
+                    let got_tree = nearest_pairs(&tree, q);
+                    let got_grid = nearest_pairs(&grid, q);
+                    prop_assert_eq!(got_tree.len(), oracle.len());
+                    prop_assert_eq!(got_grid.len(), oracle.len());
+                    for ((dt, it), (dg, ig)) in got_tree.iter().zip(got_grid.iter()) {
+                        prop_assert!((dt - dg).abs() < 1e-12);
+                        prop_assert_eq!(it, ig);
+                    }
+                }
+            }
+            prop_assert_eq!(tree.len(), oracle.len());
+            prop_assert_eq!(grid.len(), oracle.len());
+            for (&id, &r) in &oracle {
+                prop_assert_eq!(tree.get(id), Some(r));
+                prop_assert_eq!(grid.get(id), Some(r));
+            }
+        }
+        tree.check_invariants();
+        grid.check_invariants();
+    }
+}

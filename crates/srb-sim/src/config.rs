@@ -1,7 +1,7 @@
 //! Simulation configuration (paper Table 7.1).
 
 use crate::channel::ChannelConfig;
-use srb_core::CostModel;
+use srb_core::{BackendConfig, CostModel};
 use srb_geom::Rect;
 use srb_mobility::RetryPolicy;
 
@@ -68,6 +68,12 @@ pub struct SimConfig {
     /// ([`srb_core::ShardedServer`]). `1` (the default) runs the plain
     /// single-stack server bit-identically to the paper's setup.
     pub shards: usize,
+    /// Object-index backend for the SRB scheme. [`paper_defaults`]
+    /// (Self::paper_defaults) reads it from the `SRB_BACKEND` environment
+    /// variable (`rstar`/unset = the paper's R\*-tree, `grid` = the
+    /// uniform-grid backend), so the whole test/bench surface can run the
+    /// backend matrix without code changes.
+    pub backend: BackendConfig,
     /// When set, the SRB run appends one JSON line per ground-truth sample
     /// to this path: `{"t": <time>, "metrics": <telemetry diff>}`, where
     /// the diff covers the telemetry recorded since the previous sample
@@ -104,6 +110,7 @@ impl SimConfig {
             lease: None,
             retry: RetryPolicy::default(),
             shards: 1,
+            backend: BackendConfig::from_env(),
             timeline: None,
         }
     }
@@ -159,6 +166,9 @@ mod tests {
         assert!(c.channel.is_ideal(), "paper assumes a reliable channel");
         assert!(c.lease.is_none());
         assert_eq!(c.shards, 1, "the paper's server is unsharded");
+        if std::env::var("SRB_BACKEND").is_err() {
+            assert_eq!(c.backend.label(), "rstar", "default backend is the paper's R*-tree");
+        }
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub use harness::{
 pub use metrics::{AccuracyAcc, RunMetrics};
 pub use opt::run_opt;
 pub use prd::run_prd;
-pub use srb::run_srb;
+pub use srb::{run_srb, run_srb_with};
 pub use truth::{evaluate_truth, results_match, TruthResults};
 pub use workload::generate_workload;

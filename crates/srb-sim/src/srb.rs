@@ -11,7 +11,8 @@ use crate::metrics::{AccuracyAcc, RunMetrics};
 use crate::truth::evaluate_truth;
 use crate::workload::generate_workload;
 use srb_core::{
-    LocationProvider, ObjectId, QueryId, QuerySpec, SequencedUpdate, ServerConfig, ShardedServer,
+    BackendConfig, LocationProvider, ObjectId, QueryId, QuerySpec, RStarTree, SequencedUpdate,
+    ServerConfig, ShardedServer, SpatialBackend, UniformGrid,
 };
 use srb_geom::{Point, Rect};
 use srb_mobility::{MobileClient, Trajectory};
@@ -55,7 +56,18 @@ impl LocationProvider for Provider<'_> {
 /// Runs the SRB scheme and returns the aggregated metrics. With
 /// `cfg.shards == 1` (the default) the server is a single Figure-3.1 stack,
 /// bit-identical to the paper's setup; larger values run the sharded engine.
+/// The object-index backend is selected by `cfg.backend` (monomorphized
+/// through [`run_srb_with`]).
 pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
+    match cfg.backend {
+        BackendConfig::RStar(_) => run_srb_with::<RStarTree>(cfg),
+        BackendConfig::Grid(_) => run_srb_with::<UniformGrid>(cfg),
+    }
+}
+
+/// The monomorphic body of [`run_srb`]: runs the SRB scheme on the spatial
+/// backend `B`, which must match the variant of `cfg.backend`.
+pub fn run_srb_with<B: SpatialBackend + Send>(cfg: &SimConfig) -> RunMetrics {
     let mob = mobility(cfg);
     let server_cfg = ServerConfig {
         space: cfg.space,
@@ -64,9 +76,9 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
         steadiness: cfg.steadiness,
         cost: cfg.cost,
         lease: cfg.lease,
-        ..Default::default()
+        backend: cfg.backend,
     };
-    let mut server = ShardedServer::new(server_cfg, cfg.shards);
+    let mut server = ShardedServer::<B>::with_backend(server_cfg, cfg.shards);
     let mut channel = make_channel(cfg);
     let channel_ideal = cfg.channel.is_ideal();
     // Retry timers only exist on a faulty channel; lease checks only with a
