@@ -1,0 +1,236 @@
+//! `durable` — logging-overhead benchmark for the durability plane.
+//!
+//! Drives the same rotating-movers update workload as `mem` through the
+//! sequential batch engine three times per batch size:
+//!
+//! - **off**: durability disabled — the paper's in-memory semantics and
+//!   the baseline every other number is relative to;
+//! - **group**: `SyncPolicy::GroupCommit` — frames buffer in memory and
+//!   fsync once every `group_ops` operations (the recommended setting);
+//! - **fsync**: `SyncPolicy::Always` — one fsync per logical operation
+//!   (a whole sequenced batch is one operation, so large batches
+//!   amortize it).
+//!
+//! Each durable mode ends with a `sync_wal()` inside the timed window so
+//! every run pays for its full tail. Rows land in `BENCH_durable.json`
+//! at the repo root, including the on-disk footprint per update.
+
+use srb_core::{
+    DurabilityConfig, FnProvider, ObjectId, SequencedUpdate, ServerConfig, ShardedServer,
+    SyncPolicy, UpdateResponse,
+};
+use srb_geom::Point;
+use srb_sim::{generate_workload, SimConfig};
+use std::time::Instant;
+
+/// Updates pushed through the timed window of each mode.
+const TARGET_UPDATES: u64 = 8_000;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pos_of(seed: u64, obj: u64, round: u64) -> Point {
+    let h = splitmix64(seed ^ obj.wrapping_mul(0x9E37_79B9) ^ (round << 40));
+    let x = (h >> 32) as f64 / u32::MAX as f64;
+    let y = (h & 0xFFFF_FFFF) as f64 / u32::MAX as f64;
+    Point::new(x.clamp(0.0, 1.0), y.clamp(0.0, 1.0))
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Off,
+    Group,
+    Fsync,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::Group => "group-commit",
+            Mode::Fsync => "fsync-always",
+        }
+    }
+}
+
+struct ModeResult {
+    updates: u64,
+    seconds: f64,
+    /// Bytes on disk (checkpoints + logs) when the run finished.
+    disk_bytes: u64,
+}
+
+impl ModeResult {
+    fn throughput(&self) -> f64 {
+        self.updates as f64 / self.seconds.max(1e-12)
+    }
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|rd| rd.flatten().filter_map(|e| e.metadata().ok()).map(|m| m.len()).sum())
+        .unwrap_or(0)
+}
+
+fn run_mode(mode: Mode, n_objects: usize, groups: u64, sim: &SimConfig, rep: u64) -> ModeResult {
+    let batch_size = (n_objects as u64 / groups).max(1);
+    let rounds = (TARGET_UPDATES / batch_size).max(1);
+    let warmup = (rounds / 10).max(5);
+
+    let dir = std::env::temp_dir().join(format!(
+        "srb-bench-durable-{}-{}-{}",
+        std::process::id(),
+        mode.label(),
+        rep
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durability = match mode {
+        Mode::Off => DurabilityConfig::default(),
+        Mode::Group => DurabilityConfig {
+            dir: Some(Box::leak(dir.to_string_lossy().into_owned().into_boxed_str())),
+            policy: SyncPolicy::GroupCommit,
+            group_ops: 8,
+            checkpoint_ops: 512,
+        },
+        Mode::Fsync => DurabilityConfig {
+            dir: Some(Box::leak(dir.to_string_lossy().into_owned().into_boxed_str())),
+            policy: SyncPolicy::Always,
+            group_ops: 1,
+            checkpoint_ops: 512,
+        },
+    };
+    let server_cfg = ServerConfig {
+        space: sim.space,
+        grid_m: sim.grid_m,
+        max_speed: Some(sim.mean_speed * 4.0),
+        durability,
+        ..ServerConfig::default()
+    };
+    let mut server = ShardedServer::new(server_cfg, 1);
+
+    let seed = sim.seed;
+    let mut positions: Vec<Point> = (0..n_objects).map(|i| pos_of(seed, i as u64, 0)).collect();
+    {
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        for (i, &p) in snapshot.iter().enumerate() {
+            server
+                .add_object(ObjectId(i as u32), p, &mut provider, 0.0)
+                .expect("fresh object ids are unique");
+        }
+        let specs = generate_workload(&SimConfig { n_objects, ..*sim });
+        for spec in specs {
+            server.register_query(spec, &mut provider, 0.0);
+        }
+    }
+
+    let mut out: Vec<(ObjectId, UpdateResponse)> = Vec::new();
+    let mut updates = 0u64;
+    let mut elapsed = 0.0f64;
+    for round in 1..=warmup + rounds {
+        let movers: Vec<ObjectId> = (0..n_objects)
+            .filter(|i| (*i as u64) % groups == round % groups)
+            .map(|i| ObjectId(i as u32))
+            .collect();
+        for &id in &movers {
+            let h = splitmix64(seed ^ (id.0 as u64) << 20 ^ round);
+            let dx = ((h >> 32) as f64 / u32::MAX as f64 - 0.5) * 0.01;
+            let dy = ((h & 0xFFFF_FFFF) as f64 / u32::MAX as f64 - 0.5) * 0.01;
+            let p = positions[id.index()];
+            positions[id.index()] =
+                Point::new((p.x + dx).clamp(0.0, 1.0), (p.y + dy).clamp(0.0, 1.0));
+        }
+        let batch: Vec<SequencedUpdate> = movers
+            .iter()
+            .map(|&id| SequencedUpdate { id, pos: positions[id.index()], seq: round })
+            .collect();
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        let now = round as f64 * 0.1;
+        out.clear();
+        let timed = round > warmup;
+        let t0 = Instant::now();
+        server.handle_sequenced_updates_into(&batch, &mut provider, now, &mut out);
+        if timed {
+            elapsed += t0.elapsed().as_secs_f64();
+            updates += batch.len() as u64;
+        }
+        assert_eq!(out.len(), batch.len(), "every mover gets a response");
+    }
+    // The tail of the group-commit buffer is part of the cost.
+    let t0 = Instant::now();
+    server.sync_wal();
+    elapsed += t0.elapsed().as_secs_f64();
+    server.check_invariants();
+    let disk_bytes = if mode == Mode::Off { 0 } else { dir_bytes(&dir) };
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    ModeResult { updates, seconds: elapsed, disk_bytes }
+}
+
+fn main() {
+    let sim = srb_bench::base_config();
+    srb_bench::figure_header("Durable", "logging overhead (off vs group commit vs fsync)", &sim);
+    let n_objects: usize = if srb_bench::full_scale() { 20_000 } else { 2_000 };
+    println!("    target={TARGET_UPDATES} updates per mode, sequential batch path");
+
+    let mut rows: Vec<String> = Vec::new();
+    for &groups in &[n_objects as u64, 10] {
+        let batch_size = (n_objects as u64 / groups).max(1);
+        // Interleaved best-of-3 per mode so background load hits all
+        // modes equally (Criterion's lower-bound policy).
+        let best = |mode: Mode| {
+            (0..3)
+                .map(|rep| run_mode(mode, n_objects, groups, &sim, rep))
+                .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+                .expect("three runs")
+        };
+        let off = best(Mode::Off);
+        let group = best(Mode::Group);
+        let fsync = best(Mode::Fsync);
+        for r in [&off, &group, &fsync] {
+            let mode = if std::ptr::eq(r, &off) {
+                Mode::Off
+            } else if std::ptr::eq(r, &group) {
+                Mode::Group
+            } else {
+                Mode::Fsync
+            };
+            let overhead = 1.0 - r.throughput() / off.throughput().max(1e-12);
+            println!(
+                "N={:>7} batch={:<5} {:<13} {:>10.0} upd/s  overhead={:>6.1}%  disk={:>7.1} B/upd",
+                n_objects,
+                batch_size,
+                mode.label(),
+                r.throughput(),
+                overhead * 100.0,
+                r.disk_bytes as f64 / r.updates.max(1) as f64,
+            );
+            let line = serde_json::json!({
+                "figure": "durable",
+                "series": mode.label(),
+                "batch_size": batch_size,
+                "n_objects": n_objects as u64,
+                "updates": r.updates,
+                "seconds": r.seconds,
+                "updates_per_sec": r.throughput(),
+                "overhead_vs_off": overhead,
+                "disk_bytes_per_update": r.disk_bytes as f64 / r.updates.max(1) as f64,
+            });
+            println!("JSON {line}");
+            rows.push(line.to_string());
+        }
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durable.json");
+    let body = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    match srb_durable::atomic::atomic_write(std::path::Path::new(path), body.as_bytes()) {
+        Ok(()) => println!("\nwrote {}", path),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}

@@ -160,7 +160,7 @@ fn main() {
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     let body = format!("[\n  {line}\n]\n");
-    match std::fs::write(path, body) {
+    match srb_durable::atomic::atomic_write(std::path::Path::new(path), body.as_bytes()) {
         Ok(()) => println!("wrote {}", path),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }

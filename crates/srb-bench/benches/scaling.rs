@@ -152,7 +152,7 @@ fn main() {
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
     let body = format!("[\n  {}\n]\n", rows.join(",\n  "));
-    match std::fs::write(path, body) {
+    match srb_durable::atomic::atomic_write(std::path::Path::new(path), body.as_bytes()) {
         Ok(()) => println!("\nwrote {}", path),
         Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }

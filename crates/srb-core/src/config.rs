@@ -1,8 +1,62 @@
 //! Server configuration.
 
 use crate::provider::CostModel;
+use srb_durable::SyncPolicy;
 use srb_geom::Rect;
 use srb_index::BackendConfig;
+
+/// Configuration of the durability plane (write-ahead log + checkpoints).
+/// The default — `dir: None` — disables durability entirely: the server
+/// runs exactly the paper's in-memory semantics with zero logging
+/// overhead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Directory holding the log and checkpoint files. `None` disables
+    /// durability.
+    pub dir: Option<&'static str>,
+    /// When appended log records are forced to stable storage.
+    pub policy: SyncPolicy,
+    /// Operations per group-commit window (used by
+    /// [`SyncPolicy::GroupCommit`]).
+    pub group_ops: u32,
+    /// Rotate to a fresh checkpoint every this many logged operations.
+    /// `0` never checkpoints automatically (explicit
+    /// `Server::checkpoint` calls still work).
+    pub checkpoint_ops: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            dir: None,
+            policy: SyncPolicy::GroupCommit,
+            group_ops: 64,
+            checkpoint_ops: 0,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// True when a durability directory is configured.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Reads the environment: `SRB_DURABLE=1` enables group-commit
+    /// durability into `SRB_DURABLE_DIR` (default `target/srb-durable`).
+    pub fn from_env() -> Self {
+        if std::env::var("SRB_DURABLE").map(|v| v == "1").unwrap_or(false) {
+            static DIR: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+            let dir = DIR.get_or_init(|| {
+                std::env::var("SRB_DURABLE_DIR")
+                    .unwrap_or_else(|_| "target/srb-durable".to_string())
+            });
+            DurabilityConfig { dir: Some(dir.as_str()), ..Default::default() }
+        } else {
+            DurabilityConfig::default()
+        }
+    }
+}
 
 /// Configuration of the SRB database server.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +84,10 @@ pub struct ServerConfig {
     /// lease lapsed, bounding the damage of a lost exit report. `None`
     /// (the default) reproduces the paper's reliable-channel semantics.
     pub lease: Option<f64>,
+    /// Durability plane: write-ahead log + checkpoints. Off by default.
+    /// Excluded from the recovery config fingerprint, so a recovered
+    /// store may change sync policy or checkpoint cadence freely.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +100,7 @@ impl Default for ServerConfig {
             backend: BackendConfig::default(),
             cost: CostModel::default(),
             lease: None,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -69,6 +128,7 @@ mod tests {
         assert!(c.max_speed.is_none());
         assert!(c.steadiness.is_none());
         assert!(c.lease.is_none(), "paper semantics: leases never expire");
+        assert!(!c.durability.enabled(), "durability is off by default");
         assert_eq!(c.backend.label(), "rstar", "default backend is the paper's R*-tree");
         assert_eq!(c.cost.c_l, 1.0);
         assert_eq!(c.cost.c_p, 1.5);

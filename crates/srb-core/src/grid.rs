@@ -122,6 +122,48 @@ impl GridIndex {
     pub fn bucket_entries(&self) -> usize {
         self.buckets.iter().map(Vec::len).sum()
     }
+
+    /// Serializes the grid for a durability checkpoint. Buckets are
+    /// written verbatim (their order is candidate-probe order, so it must
+    /// survive a restart bit-identically).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        use srb_durable::codec::*;
+        crate::wal::put_rect(out, &self.space);
+        put_usize(out, self.m);
+        for b in &self.buckets {
+            put_usize(out, b.len());
+            for q in b {
+                put_u32(out, q.0);
+            }
+        }
+    }
+
+    /// Rebuilds a grid serialized by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        dec: &mut srb_durable::Dec<'_>,
+    ) -> Result<Self, srb_durable::DurableError> {
+        use srb_durable::DurableError;
+        let space = crate::wal::dec_rect(dec)?;
+        let m = dec.usize()?;
+        if !(1..=1usize << 15).contains(&m) {
+            return Err(DurableError::Corrupt("grid resolution out of range"));
+        }
+        // Every bucket costs at least its length prefix; a corrupt `m`
+        // must not drive a huge up-front allocation.
+        if m * m * 8 > dec.remaining() {
+            return Err(DurableError::Corrupt("grid larger than payload"));
+        }
+        let mut buckets = Vec::with_capacity(m * m);
+        for _ in 0..m * m {
+            let n = dec.len(4)?;
+            let mut b = Vec::with_capacity(n);
+            for _ in 0..n {
+                b.push(QueryId(dec.u32()?));
+            }
+            buckets.push(b);
+        }
+        Ok(GridIndex { space, m, buckets })
+    }
 }
 
 #[cfg(test)]

@@ -120,6 +120,28 @@ impl<B: SpatialBackend> ObjectIndex<B> {
         assert_eq!(self.tree.len(), self.objects.len(), "tree/table length mismatch");
     }
 
+    /// Serializes the backend and the state table for a durability
+    /// checkpoint. The backend serializes its own structure (arena slots,
+    /// free lists, visit counters), so the decoded index emits searches in
+    /// the same order and charges the same visit counts as the original.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        self.tree.encode_state(out);
+        self.objects.encode_state(out);
+    }
+
+    /// Rebuilds an index serialized by
+    /// [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        dec: &mut srb_durable::Dec<'_>,
+    ) -> Result<Self, srb_durable::DurableError> {
+        let tree = B::decode_state(dec)?;
+        let objects = ObjectTable::decode_state(dec)?;
+        if tree.len() != objects.len() {
+            return Err(srb_durable::DurableError::Corrupt("tree/table length mismatch"));
+        }
+        Ok(ObjectIndex { tree, objects })
+    }
+
     /// Full O(n) coherence scan: backend invariants plus an entry-by-entry
     /// comparison of stored rectangles against table safe regions.
     pub fn check_coherence(&self) {

@@ -68,10 +68,11 @@ mod safe_region;
 mod scratch;
 mod server;
 mod sharded;
+mod wal;
 
 pub use bounds::LocBound;
-pub use config::ServerConfig;
-pub use error::ServerError;
+pub use config::{DurabilityConfig, ServerConfig};
+pub use error::{RecoveryError, ServerError};
 pub use grid::{Cell, GridIndex};
 pub use ids::{ObjectId, QueryId};
 pub use index::ObjectIndex;
@@ -82,6 +83,7 @@ pub use provider::{CostModel, CostTracker, FnProvider, LocationProvider, NoProbe
 pub use query::{Quarantine, QuerySpec, QueryState, ResultChange};
 pub use server::{RegisterResponse, ResultRemoval, SequencedUpdate, Server, UpdateResponse};
 pub use sharded::{configured_threads, ShardedServer, SyncProvider};
+pub use srb_durable::{CrashPoint, SyncPolicy};
 pub use srb_index::{
     BackendConfig, BackendStats, GridConfig, RStarTree, SpatialBackend, TreeConfig, UniformGrid,
 };

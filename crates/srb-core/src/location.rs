@@ -118,6 +118,54 @@ impl LocationManager {
         self.deferred.pop().map(|Reverse(d)| d)
     }
 
+    /// Serializes the deferred-probe queue for a durability checkpoint.
+    /// Entries are written in the heap's internal array order; rebuilding
+    /// a `BinaryHeap` from an array that already satisfies the heap
+    /// property moves nothing, so the decoded queue pops in exactly the
+    /// original order (ties included) — a requirement for bit-identical
+    /// recovery.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        use srb_durable::codec::*;
+        put_usize(out, self.deferred.len());
+        for Reverse(d) in self.deferred.iter() {
+            put_f64(out, d.due);
+            put_u32(out, d.oid.0);
+            put_f64(out, d.epoch);
+            put_u8(
+                out,
+                match d.kind {
+                    DeferKind::Slack => 0,
+                    DeferKind::Lease => 1,
+                },
+            );
+        }
+    }
+
+    /// Rebuilds a manager serialized by
+    /// [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        dec: &mut srb_durable::Dec<'_>,
+    ) -> Result<Self, srb_durable::DurableError> {
+        use srb_durable::DurableError;
+        let n = dec.len(21)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let due = dec.f64()?;
+            let oid = ObjectId(dec.u32()?);
+            let epoch = dec.f64()?;
+            let kind = match dec.u8()? {
+                0 => DeferKind::Slack,
+                1 => DeferKind::Lease,
+                _ => return Err(DurableError::Corrupt("bad defer kind")),
+            };
+            if due.is_nan() || epoch.is_nan() {
+                return Err(DurableError::Corrupt("NaN deferred timestamp"));
+            }
+            entries.push(Reverse(Deferred { due, oid, epoch, kind }));
+        }
+        Ok(LocationManager { deferred: BinaryHeap::from(entries) })
+    }
+
     /// Recomputes and installs safe regions for every exactly-known object
     /// of the current server operation (Algorithm 1, lines 14-15), and
     /// schedules a lease-expiry probe per region when leases are enabled.

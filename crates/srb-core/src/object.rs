@@ -155,6 +155,76 @@ impl ObjectTable {
         old
     }
 
+    /// Serializes the slab for a durability checkpoint. Slots are written
+    /// in dense order and the free list verbatim, so a decoded table is
+    /// bit-identical in structure (slot assignment, reuse order,
+    /// generations) to the original — only the `slot_of` hash map is
+    /// rebuilt, and it is never iterated in hash order anywhere.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        use srb_durable::codec::*;
+        put_usize(out, self.entries.len());
+        for e in &self.entries {
+            put_u32(out, e.gen);
+            match &e.occupant {
+                None => put_u8(out, 0),
+                Some((id, st)) => {
+                    put_u8(out, 1);
+                    put_u32(out, id.0);
+                    put_f64(out, st.p_lst.x);
+                    put_f64(out, st.p_lst.y);
+                    put_f64(out, st.t_lst);
+                    crate::wal::put_rect(out, &st.safe_region);
+                    put_u64(out, st.last_seq);
+                }
+            }
+        }
+        put_usize(out, self.free.len());
+        for &idx in &self.free {
+            put_u32(out, idx);
+        }
+        put_usize(out, self.high_water);
+    }
+
+    /// Rebuilds a slab serialized by [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        dec: &mut srb_durable::Dec<'_>,
+    ) -> Result<Self, srb_durable::DurableError> {
+        use srb_durable::DurableError;
+        let n = dec.len(5)?;
+        let mut entries = Vec::with_capacity(n);
+        let mut slot_of = FastMap::default();
+        for idx in 0..n {
+            let gen = dec.u32()?;
+            let occupant = match dec.u8()? {
+                0 => None,
+                1 => {
+                    let id = ObjectId(dec.u32()?);
+                    let p_lst = Point::new(dec.f64()?, dec.f64()?);
+                    let t_lst = dec.f64()?;
+                    let safe_region = crate::wal::dec_rect(dec)?;
+                    let last_seq = dec.u64()?;
+                    if slot_of.insert(id, idx as u32).is_some() {
+                        return Err(DurableError::Corrupt("duplicate object id"));
+                    }
+                    Some((id, ObjectState { p_lst, t_lst, safe_region, last_seq }))
+                }
+                _ => return Err(DurableError::Corrupt("bad occupant tag")),
+            };
+            entries.push(Entry { gen, occupant });
+        }
+        let n_free = dec.len(4)?;
+        let mut free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            let idx = dec.u32()?;
+            if idx as usize >= entries.len() || entries[idx as usize].occupant.is_some() {
+                return Err(DurableError::Corrupt("free list names an occupied slot"));
+            }
+            free.push(idx);
+        }
+        let high_water = dec.usize()?;
+        Ok(ObjectTable { entries, free, slot_of, high_water })
+    }
+
     /// Iterates over registered objects in ascending-id order.
     ///
     /// This sorts a scratch vector of ids, so it is for cold paths only

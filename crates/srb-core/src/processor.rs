@@ -274,6 +274,60 @@ impl QueryProcessor {
         self.queries[qid.index()] = Some(qs);
     }
 
+    /// Serializes the processor for a durability checkpoint: the query
+    /// slots in slot order (ids are slot indices, so this preserves the
+    /// lockstep lowest-free-id allocation), the per-slot reuse
+    /// generations, the occupancy counters, and the grid index.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        use srb_durable::codec::*;
+        put_usize(out, self.queries.len());
+        for slot in &self.queries {
+            match slot {
+                None => put_u8(out, 0),
+                Some(qs) => {
+                    put_u8(out, 1);
+                    crate::wal::put_query_state(out, qs);
+                }
+            }
+        }
+        for &g in &self.gens {
+            put_u32(out, g);
+        }
+        put_usize(out, self.high_water);
+        self.grid.encode_state(out);
+    }
+
+    /// Rebuilds a processor serialized by
+    /// [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(
+        dec: &mut srb_durable::Dec<'_>,
+    ) -> Result<Self, srb_durable::DurableError> {
+        use srb_durable::DurableError;
+        let n = dec.len(1)?;
+        let mut queries = Vec::with_capacity(n);
+        let mut live = 0;
+        for _ in 0..n {
+            match dec.u8()? {
+                0 => queries.push(None),
+                1 => {
+                    queries.push(Some(crate::wal::dec_query_state(dec)?));
+                    live += 1;
+                }
+                _ => return Err(DurableError::Corrupt("bad query slot tag")),
+            }
+        }
+        let mut gens = Vec::with_capacity(n);
+        for _ in 0..n {
+            gens.push(dec.u32()?);
+        }
+        let high_water = dec.usize()?;
+        if high_water < live {
+            return Err(DurableError::Corrupt("high water below occupancy"));
+        }
+        let grid = GridIndex::decode_state(dec)?;
+        Ok(QueryProcessor { queries, gens, live, high_water, grid })
+    }
+
     /// Deep consistency check: kNN result lists never exceed `k`.
     pub fn check_result_sizes(&self) {
         for qs in self.queries.iter().flatten() {

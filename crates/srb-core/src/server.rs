@@ -12,7 +12,7 @@
 //! [`LocationProvider`] the caller supplies; the façade only orchestrates.
 
 use crate::config::ServerConfig;
-use crate::error::ServerError;
+use crate::error::{RecoveryError, ServerError};
 use crate::eval::EvalCtx;
 use crate::ids::{ObjectId, QueryId};
 use crate::index::ObjectIndex;
@@ -22,9 +22,11 @@ use crate::processor::QueryProcessor;
 use crate::provider::{CostTracker, LocationProvider, WorkStats};
 use crate::query::{Quarantine, QuerySpec, QueryState, ResultChange};
 use crate::scratch::{BatchScratch, OpBuffers};
+use crate::wal::{self, Record, ReplayProvider, Wal};
 use srb_geom::{Point, Rect};
 use srb_hash::FastMap;
 use srb_index::{RStarTree, SpatialBackend};
+use std::path::Path;
 
 /// Response to a query registration: the id, the initial results, and the
 /// updated safe regions of every object probed during evaluation (step 5 of
@@ -37,6 +39,12 @@ pub struct RegisterResponse {
     pub results: Vec<ObjectId>,
     /// New safe regions for the probed objects.
     pub safe_regions: Vec<(ObjectId, Rect)>,
+    /// Result changes to *existing* queries. A registration probe can
+    /// reveal that an object silently moved (its own report may still be
+    /// in flight), and that revelation is folded through the same
+    /// reevaluation pipeline as a report — which may change the answers
+    /// of queries that were watching the object's old position.
+    pub changes: Vec<ResultChange>,
 }
 
 /// Response to a source-initiated location update: the updated object's new
@@ -80,6 +88,10 @@ pub struct Server<B: SpatialBackend = RStarTree> {
     /// Reused per-operation buffers (see `scratch.rs`): the reason the
     /// steady-state report path allocates nothing.
     scratch: BatchScratch,
+    /// The write-ahead log, when durability is enabled. `None` (the
+    /// default) keeps every hot path exactly as before — the hooks check
+    /// one `Option` discriminant and fall through.
+    wal: Option<Box<Wal>>,
 }
 
 impl Server {
@@ -100,15 +112,20 @@ impl<B: SpatialBackend> Server<B> {
     /// Creates a server whose object index uses the backend `B`, built from
     /// `config.backend`. Panics when the config variant does not match `B`.
     pub fn with_backend(config: ServerConfig) -> Self {
-        Server {
+        let mut server = Server {
             index: ObjectIndex::with_backend(&config.backend, config.space),
             processor: QueryProcessor::new(config.space, config.grid_m),
             location: LocationManager::new(),
             costs: CostTracker::default(),
             work: WorkStats::default(),
             scratch: BatchScratch::default(),
+            wal: None,
             config,
+        };
+        if server.config.durability.enabled() {
+            server.attach_durability().expect("failed to create the configured durability store");
         }
+        server
     }
 
     // ------------------------------------------------------------------
@@ -228,6 +245,20 @@ impl<B: SpatialBackend> Server<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Result<Rect, ServerError> {
+        // WAL hook: record the operation (inputs + probe transcript) and
+        // re-enter with logging disarmed. Logged unconditionally — even a
+        // rejected duplicate mutates no state but must replay to the same
+        // rejection, keeping the record streams aligned.
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.add_object(id, pos, &mut rp, now)
+            };
+            w.log_add_object(id, pos, now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         let _span = srb_obs::span!("server.add_object");
         if self.index.get(id).is_some() {
             return Err(ServerError::DuplicateObject(id));
@@ -280,6 +311,16 @@ impl<B: SpatialBackend> Server<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Option<ResultRemoval> {
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.remove_object(id, &mut rp, now)
+            };
+            w.log_remove_object(id, now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         let st = self.index.remove(id)?;
         let mut changes = Vec::new();
         let mut op = self.scratch.take_op();
@@ -328,6 +369,16 @@ impl<B: SpatialBackend> Server<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> RegisterResponse {
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.register_query(spec, &mut rp, now)
+            };
+            w.log_register_query(&spec, now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         let _span = srb_obs::span!("server.register_query");
         let mut op = self.scratch.take_op();
         let space = self.config.space;
@@ -344,6 +395,26 @@ impl<B: SpatialBackend> Server<B> {
             );
             self.processor.evaluate_new(&mut ctx, spec, &space)
         };
+
+        // A registration probe may reveal that an object silently moved
+        // since its last report (the report can still be in flight). The
+        // new query already evaluated against the exact position, but the
+        // object's membership in *existing* queries was last decided
+        // against the stale bound — and the recompute below advances the
+        // pinned position, so a later report would no longer scan the old
+        // cell. Capture the pre-probe positions now; each revelation is
+        // folded through the standard report pipeline further down, once
+        // the new query is installed.
+        let mut revealed: Vec<(ObjectId, Point, Point)> = op
+            .exact
+            .iter()
+            .filter_map(|(&o, &p)| {
+                let prev = self.index.get(o)?.p_lst;
+                (prev != p).then_some((o, p, prev))
+            })
+            .collect();
+        revealed.sort_unstable_by_key(|&(o, _, _)| o);
+
         let id = self.processor.alloc_id();
         self.processor.install(id, QueryState { spec, results: results.clone(), quarantine });
 
@@ -352,15 +423,40 @@ impl<B: SpatialBackend> Server<B> {
         // (the fresh computation subsumes the paper's intersection with
         // sr_Q and can only yield a larger — still sound — region).
         self.recompute_safe_regions(&mut op, provider, now);
-        let safe_regions = op.recomputed.clone();
+        let mut safe_regions = op.recomputed.clone();
         self.absorb_probed_only(&mut op);
         self.scratch.put_op(op);
-        RegisterResponse { id, results, safe_regions }
+        if revealed.is_empty() {
+            return RegisterResponse { id, results, safe_regions, changes: Vec::new() };
+        }
+
+        let mut changes = Vec::new();
+        for &(o, p, prev) in &revealed {
+            let resp = self.process_revelation(o, p, prev, provider, now);
+            safe_regions.push((o, resp.safe_region));
+            safe_regions.extend(resp.probed);
+            changes.extend(resp.changes);
+        }
+        // Reevaluation never disturbs the freshly installed query (it saw
+        // the exact positions already), and later grants supersede earlier
+        // ones for the same object.
+        changes.retain(|c| c.query != id);
+        let results = self.results(id).map(|r| r.to_vec()).unwrap_or(results);
+        let deduped: std::collections::BTreeMap<ObjectId, Rect> =
+            safe_regions.into_iter().collect();
+        RegisterResponse { id, results, safe_regions: deduped.into_iter().collect(), changes }
     }
 
     /// Deregisters a query (Algorithm 1 lines 6-7). Safe regions are not
     /// eagerly enlarged; they regrow on the next update of each object.
     pub fn deregister_query(&mut self, id: QueryId) -> bool {
+        if let Some(mut w) = self.wal.take() {
+            let result = self.processor.remove(id);
+            w.log_deregister_query(id);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         self.processor.remove(id)
     }
 
@@ -384,6 +480,16 @@ impl<B: SpatialBackend> Server<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Result<UpdateResponse, ServerError> {
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.handle_location_update(id, pos, &mut rp, now)
+            };
+            w.log_update(id, pos, now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         let st = self.index.get_mut(id).ok_or(ServerError::UnknownObject(id))?;
         st.last_seq += 1;
         srb_obs::counter!("server.updates").inc();
@@ -405,6 +511,19 @@ impl<B: SpatialBackend> Server<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
+        // WAL hook: the raw batch is logged verbatim (unknown-object
+        // drops must recur on replay), and the sequenced path below runs
+        // with logging disarmed so it cannot double-log.
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.handle_location_updates(updates, &mut rp, now)
+            };
+            w.log_raw_batch_inline(now, updates);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         // Stamp each update with the object's next sequence number; the
         // sequenced path drops unknown objects (and in-batch duplicates)
         // instead of panicking.
@@ -450,6 +569,16 @@ impl<B: SpatialBackend> Server<B> {
         now: f64,
         out: &mut Vec<(ObjectId, UpdateResponse)>,
     ) {
+        if let Some(mut w) = self.wal.take() {
+            {
+                let mut rp = w.recorder(provider);
+                self.handle_sequenced_updates_into(updates, &mut rp, now, out);
+            }
+            w.log_batch_inline(now, updates);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return;
+        }
         let mut seq = self.scratch.take_seq();
         for u in updates {
             match self.index.get_mut(u.id) {
@@ -590,12 +719,28 @@ impl<B: SpatialBackend> Server<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> UpdateResponse {
+        let p_lst = self.index.get(id).expect("unknown object").p_lst;
+        self.process_revelation(id, pos, p_lst, provider, now)
+    }
+
+    /// Folds one exact-position revelation through the maintenance
+    /// pipeline: pin, reevaluate every query watching the old or new cell,
+    /// regrant safe regions. `p_lst` is the previously *known* position
+    /// the revelation supersedes — callers that already advanced the pin
+    /// (e.g. registration probes) pass the pre-probe position so queries
+    /// watching the old cell are still maintained.
+    fn process_revelation(
+        &mut self,
+        id: ObjectId,
+        pos: Point,
+        p_lst: Point,
+        provider: &mut dyn LocationProvider,
+        now: f64,
+    ) -> UpdateResponse {
         // No span here: this is the per-report hot path, and its envelope is
         // already timed per batch by `server.update_batch` (and within it by
         // `location.recompute_safe_regions`, where the time actually goes).
         // A per-report span measurably distorts the scaling workload.
-        let st = *self.index.get(id).expect("unknown object");
-        let p_lst = st.p_lst;
 
         // The object's stored region no longer bounds it; replace it with
         // the exact point so index-based evaluation stays sound.
@@ -670,6 +815,15 @@ impl<B: SpatialBackend> Server<B> {
     /// discarded lazily. Event-driven callers (the simulator) use this to
     /// schedule [`process_deferred`](Self::process_deferred).
     pub fn next_deferred_due(&mut self) -> Option<f64> {
+        // Even this "read" is logged: it lazily pops stale timer entries,
+        // mutating the deferred heap that checkpoints serialize.
+        if let Some(mut w) = self.wal.take() {
+            let result = self.location.next_due(self.index.objects());
+            w.log_next_due();
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         self.location.next_due(self.index.objects())
     }
 
@@ -682,6 +836,16 @@ impl<B: SpatialBackend> Server<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.process_deferred(&mut rp, now)
+            };
+            w.log_process_deferred(now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         let _span = srb_obs::span!("server.process_deferred");
         let mut out = Vec::new();
         while let Some(d) = self.location.pop_due(self.index.objects(), now) {
@@ -693,6 +857,252 @@ impl<B: SpatialBackend> Server<B> {
             out.push((d.oid, self.process_report(d.oid, pos, provider, now)));
         }
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Durability plane (WAL + checkpoints + recovery)
+    // ------------------------------------------------------------------
+
+    /// Creates the configured durability store and attaches a fresh WAL,
+    /// rooted at a checkpoint of the current state. Generations already
+    /// in the directory are superseded, never overwritten.
+    pub fn attach_durability(&mut self) -> Result<(), RecoveryError> {
+        let d = self.config.durability;
+        let Some(dir) = d.dir else { return Err(RecoveryError::Disabled) };
+        let mut payload = Vec::new();
+        self.encode_state(&mut payload);
+        let store = srb_durable::Store::create(Path::new(dir), 1, d.policy, d.group_ops, &payload)?;
+        self.wal = Some(Box::new(Wal::new(store, d.checkpoint_ops)));
+        Ok(())
+    }
+
+    /// Rebuilds a server from the durability directory in
+    /// `config.durability`: loads the newest valid checkpoint (falling
+    /// back a generation when the newest is damaged), replays the log
+    /// tail through the regular entry points, and reattaches the WAL.
+    /// Returns the server and the number of replayed operations.
+    pub fn recover(config: ServerConfig) -> Result<(Self, usize), RecoveryError> {
+        let d = config.durability;
+        let Some(dir) = d.dir else { return Err(RecoveryError::Disabled) };
+        let rec = srb_durable::Store::recover(Path::new(dir), 1, d.policy, d.group_ops)?;
+        let mut server = Self::decode_state(&config, &rec.payload)?;
+        let mut replayed = 0usize;
+        for genf in &rec.generations {
+            for payload in &genf.logs[0] {
+                server.apply_record(payload)?;
+                replayed += 1;
+            }
+        }
+        server.wal = Some(Box::new(Wal::new(rec.store, d.checkpoint_ops)));
+        Ok((server, replayed))
+    }
+
+    /// True when a WAL is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// True when an earlier I/O failure poisoned the WAL. A poisoned
+    /// server keeps serving from memory but persists nothing further;
+    /// the durable state is whatever the last commit made stable, and
+    /// the only path back is [`Server::recover`].
+    pub fn wal_poisoned(&self) -> bool {
+        self.wal.as_ref().map(|w| w.poisoned()).unwrap_or(false)
+    }
+
+    /// The active checkpoint generation, when durability is on.
+    pub fn wal_generation(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.generation())
+    }
+
+    /// Forces every buffered log record to stable storage now.
+    pub fn sync_wal(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            w.sync();
+        }
+    }
+
+    /// Rotates the durability store to a fresh checkpoint of the current
+    /// state, truncating the replay tail. Returns `false` when no WAL is
+    /// attached or the rotation failed (which poisons the WAL).
+    pub fn checkpoint(&mut self) -> bool {
+        let Some(mut w) = self.wal.take() else { return false };
+        let mut payload = Vec::new();
+        self.encode_state(&mut payload);
+        let ok = w.checkpoint(&payload).is_ok();
+        self.wal = Some(w);
+        ok
+    }
+
+    /// A 64-bit digest of the full serialized state — what the crash
+    /// harness compares between a recovered run and its golden twin.
+    pub fn state_digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        self.encode_state(&mut buf);
+        wal::fnv1a64(&buf)
+    }
+
+    /// Group-commit + checkpoint-cadence bookkeeping after one logged
+    /// operation.
+    fn wal_post_op(&mut self) {
+        let due = match self.wal.as_mut() {
+            Some(w) => w.note_op(),
+            None => false,
+        };
+        if due {
+            self.checkpoint();
+        }
+    }
+
+    /// Serializes the complete engine state (everything a checkpoint
+    /// needs: config fingerprint, cost/work counters, object index,
+    /// query processor, deferred timers). Scratch buffers are empty
+    /// between operations and carry no state.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        use srb_durable::codec::put_u64;
+        put_u64(out, wal::config_fingerprint(&self.config));
+        put_u64(out, self.costs.source_updates);
+        put_u64(out, self.costs.probes);
+        let w = &self.work;
+        for v in [
+            w.evaluations,
+            w.safe_regions,
+            w.probes_avoided,
+            w.ordering_fallbacks,
+            w.probes_range,
+            w.probes_knn_eval,
+            w.probes_radius,
+            w.probes_reeval,
+            w.probes_neighbor,
+            w.stale_seq_drops,
+            w.unknown_object_drops,
+            w.lease_probes,
+            w.regrants,
+        ] {
+            put_u64(out, v);
+        }
+        self.index.encode_state(out);
+        self.processor.encode_state(out);
+        self.location.encode_state(out);
+    }
+
+    /// Rebuilds a server from a checkpoint payload. The WAL is *not*
+    /// attached — [`Server::recover`] does that after replay.
+    pub(crate) fn decode_state(
+        config: &ServerConfig,
+        payload: &[u8],
+    ) -> Result<Self, RecoveryError> {
+        let mut dec = srb_durable::Dec::new(payload);
+        let server = Self::decode_state_from(config, &mut dec)?;
+        dec.finish()?;
+        Ok(server)
+    }
+
+    /// Like [`decode_state`](Self::decode_state) but reads from an open
+    /// decoder without requiring it to be exhausted — the sharded
+    /// coordinator embeds one of these per shard in its own checkpoint.
+    pub(crate) fn decode_state_from(
+        config: &ServerConfig,
+        dec: &mut srb_durable::Dec<'_>,
+    ) -> Result<Self, RecoveryError> {
+        if dec.u64()? != wal::config_fingerprint(config) {
+            return Err(RecoveryError::ConfigMismatch);
+        }
+        let costs = CostTracker { source_updates: dec.u64()?, probes: dec.u64()? };
+        let work = WorkStats {
+            evaluations: dec.u64()?,
+            safe_regions: dec.u64()?,
+            probes_avoided: dec.u64()?,
+            ordering_fallbacks: dec.u64()?,
+            probes_range: dec.u64()?,
+            probes_knn_eval: dec.u64()?,
+            probes_radius: dec.u64()?,
+            probes_reeval: dec.u64()?,
+            probes_neighbor: dec.u64()?,
+            stale_seq_drops: dec.u64()?,
+            unknown_object_drops: dec.u64()?,
+            lease_probes: dec.u64()?,
+            regrants: dec.u64()?,
+        };
+        let index = ObjectIndex::decode_state(dec)?;
+        let processor = QueryProcessor::decode_state(dec)?;
+        let location = LocationManager::decode_state(dec)?;
+        Ok(Server {
+            config: *config,
+            index,
+            processor,
+            location,
+            costs,
+            work,
+            scratch: BatchScratch::default(),
+            wal: None,
+        })
+    }
+
+    /// Replays one log record through the public entry points (the WAL
+    /// is detached during recovery, so nothing re-logs). Rejected
+    /// operations recur deterministically and are ignored exactly as the
+    /// original run ignored them.
+    pub(crate) fn apply_record(&mut self, payload: &[u8]) -> Result<(), RecoveryError> {
+        match wal::decode_record(payload)? {
+            Record::AddObject { id, pos, now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.add_object(id, pos, &mut rp, now);
+                Self::check_replay(&rp)
+            }
+            Record::RemoveObject { id, now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.remove_object(id, &mut rp, now);
+                Self::check_replay(&rp)
+            }
+            Record::RegisterQuery { spec, now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.register_query(spec, &mut rp, now);
+                Self::check_replay(&rp)
+            }
+            Record::DeregisterQuery { id } => {
+                let _ = self.deregister_query(id);
+                Ok(())
+            }
+            Record::Update { id, pos, now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.handle_location_update(id, pos, &mut rp, now);
+                Self::check_replay(&rp)
+            }
+            Record::Batch { now, updates, shard_counts, probes } => {
+                if !shard_counts.is_empty() {
+                    return Err(RecoveryError::Corrupt("sharded marker in a plain log"));
+                }
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.handle_sequenced_updates(&updates, &mut rp, now);
+                Self::check_replay(&rp)
+            }
+            Record::RawBatch { now, updates, shard_counts, probes } => {
+                if !shard_counts.is_empty() {
+                    return Err(RecoveryError::Corrupt("sharded marker in a plain log"));
+                }
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.handle_location_updates(&updates, &mut rp, now);
+                Self::check_replay(&rp)
+            }
+            Record::ProcessDeferred { now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.process_deferred(&mut rp, now);
+                Self::check_replay(&rp)
+            }
+            Record::NextDue => {
+                let _ = self.next_deferred_due();
+                Ok(())
+            }
+        }
+    }
+
+    fn check_replay(rp: &ReplayProvider<'_>) -> Result<(), RecoveryError> {
+        if rp.diverged() {
+            Err(RecoveryError::Corrupt("replay diverged from the probe transcript"))
+        } else {
+            Ok(())
+        }
     }
 
     // ------------------------------------------------------------------

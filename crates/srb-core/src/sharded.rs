@@ -36,14 +36,17 @@
 //! the shard reevaluates, and the client receives a fresh safe region
 //! instead of being left pending.
 
-use crate::config::ServerConfig;
-use crate::error::ServerError;
+use crate::config::{DurabilityConfig, ServerConfig};
+use crate::error::{RecoveryError, ServerError};
 use crate::ids::{ObjectId, QueryId};
 use crate::provider::{CostTracker, LocationProvider, WorkStats};
 use crate::query::{QuerySpec, ResultChange};
 use crate::server::{RegisterResponse, ResultRemoval, SequencedUpdate, Server, UpdateResponse};
+use crate::wal::{self, Record, ReplayProvider, Wal};
+use srb_durable::codec::{put_u32, put_u64, put_u8, put_usize};
 use srb_geom::{Point, Rect};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 
 /// Interval-separation slack for cross-shard kNN ranking.
 const EPS: f64 = 1e-9;
@@ -135,6 +138,10 @@ pub struct ShardedServer<B: srb_index::SpatialBackend = srb_index::RStarTree> {
     shard_batch_ns: Vec<&'static srb_obs::Histogram>,
     /// Reused coordinator batch buffers (see [`CoordScratch`]).
     scratch: CoordScratch,
+    /// The coordinator-owned write-ahead log, when durability is on. Log 0
+    /// is the arbiter log (one marker per operation); logs `1..=N` hold the
+    /// per-shard batch partitions. Shards never own a store of their own.
+    wal: Option<Box<Wal>>,
 }
 
 impl ShardedServer {
@@ -159,8 +166,12 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
     pub fn with_backend(config: ServerConfig, shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
         srb_obs::gauge!("sharded.shards").set(shards as u64);
-        ShardedServer {
-            shards: (0..shards).map(|_| Server::with_backend(config)).collect(),
+        // Shards never attach their own durability store: the coordinator
+        // logs for the whole fleet, one partition log per shard plus the
+        // arbiter log.
+        let shard_config = ServerConfig { durability: DurabilityConfig::default(), ..config };
+        let mut server = ShardedServer {
+            shards: (0..shards).map(|_| Server::with_backend(shard_config)).collect(),
             owner: Vec::new(),
             specs: Vec::new(),
             merged: Vec::new(),
@@ -170,8 +181,13 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
                 .map(|i| srb_obs::registry().histogram(&format!("sharded.shard{i}.batch_ns")))
                 .collect(),
             scratch: CoordScratch::default(),
+            wal: None,
             config,
+        };
+        if server.config.durability.enabled() {
+            server.attach_durability().expect("failed to create the configured durability store");
         }
+        server
     }
 
     /// Overrides the fan-out thread count (otherwise [`configured_threads`]
@@ -313,6 +329,19 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Result<Rect, ServerError> {
+        // WAL hook: record the operation (inputs + probe transcript) and
+        // re-enter with logging disarmed. Logged unconditionally — even a
+        // rejected duplicate must replay to the same rejection.
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.add_object(id, pos, &mut rp, now)
+            };
+            w.log_add_object(id, pos, now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         if self.owner_of(id).is_some() {
             return Err(ServerError::DuplicateObject(id));
         }
@@ -344,6 +373,16 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Option<ResultRemoval> {
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.remove_object(id, &mut rp, now)
+            };
+            w.log_remove_object(id, now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         let target = self.owner_of(id)?;
         let mut removal = self.shards[target].remove_object(id, provider, now)?;
         self.owner[id.index()] = None;
@@ -374,6 +413,16 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> RegisterResponse {
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.register_query(spec, &mut rp, now)
+            };
+            w.log_register_query(&spec, now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         if self.shards.len() == 1 {
             let resp = self.shards[0].register_query(spec, provider, now);
             self.record_spec(resp.id, spec);
@@ -381,6 +430,7 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         }
         let mut id: Option<QueryId> = None;
         let mut safe_regions: Vec<(ObjectId, Rect)> = Vec::new();
+        let mut triggers: BTreeSet<QueryId> = BTreeSet::new();
         for shard in &mut self.shards {
             let resp = shard.register_query(spec, provider, now);
             match id {
@@ -390,6 +440,10 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
                 }
             }
             safe_regions.extend(resp.safe_regions);
+            // Registration probes can reveal silent movers, changing the
+            // shard-local answers of existing queries; those queries must
+            // be re-merged globally along with the new one.
+            triggers.extend(resp.changes.iter().map(|c| c.query));
         }
         let id = id.expect("at least one shard");
         self.record_spec(id, spec);
@@ -397,8 +451,10 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
             self.merged.resize(id.index() + 1, None);
         }
         self.merged[id.index()] = Some(Vec::new());
-        let (probed, _changes) = self.merge_after([id].into(), provider, now);
+        triggers.insert(id);
+        let (probed, mut changes) = self.merge_after(triggers, provider, now);
         safe_regions.extend(probed);
+        changes.retain(|c| c.query != id);
         // Deduplicate grants (later regions supersede earlier ones) and
         // emit them in deterministic id order.
         let deduped: BTreeMap<ObjectId, Rect> = safe_regions.into_iter().collect();
@@ -406,11 +462,19 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
             id,
             results: self.merged[id.index()].clone().unwrap_or_default(),
             safe_regions: deduped.into_iter().collect(),
+            changes,
         }
     }
 
     /// Deregisters a query from every shard.
     pub fn deregister_query(&mut self, id: QueryId) -> bool {
+        if let Some(mut w) = self.wal.take() {
+            let result = self.deregister_query(id);
+            w.log_deregister_query(id);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         let mut removed = false;
         for shard in &mut self.shards {
             removed |= shard.deregister_query(id);
@@ -439,6 +503,16 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Result<UpdateResponse, ServerError> {
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.handle_location_update(id, pos, &mut rp, now)
+            };
+            w.log_update(id, pos, now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         if self.shards.len() == 1 {
             return self.shards[0].handle_location_update(id, pos, provider, now);
         }
@@ -468,6 +542,21 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
+        // WAL hook: the partitions go to the shard logs first; the marker
+        // (written last, with the probe transcript) is the commit point —
+        // orphan partitions from a crash mid-operation are ignored on
+        // recovery because no marker references them.
+        if let Some(mut w) = self.wal.take() {
+            let counts = self.wal_partition_raw(updates, &mut w);
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.handle_location_updates(updates, &mut rp, now)
+            };
+            w.log_raw_batch_marker(now, &counts);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         if self.shards.len() == 1 {
             return self.shards[0].handle_location_updates(updates, provider, now);
         }
@@ -511,6 +600,17 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         now: f64,
         out: &mut Vec<(ObjectId, UpdateResponse)>,
     ) {
+        if let Some(mut w) = self.wal.take() {
+            let counts = self.wal_partition_seq(updates, &mut w);
+            {
+                let mut rp = w.recorder(provider);
+                self.handle_sequenced_updates_into(updates, &mut rp, now, out);
+            }
+            w.log_batch_marker(now, &counts);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return;
+        }
         if self.shards.len() == 1 {
             self.shards[0].handle_sequenced_updates_into(updates, provider, now, out);
             return;
@@ -553,6 +653,13 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
     where
         B: Send,
     {
+        // Durability serializes the batch: the probe transcript must be one
+        // deterministic stream, so with a WAL attached the parallel fan-out
+        // falls back to the (output-identical) sequential path.
+        if self.wal.is_some() {
+            let mut adapter = SyncAdapter(provider);
+            return self.handle_sequenced_updates(updates, &mut adapter, now);
+        }
         if self.shards.len() == 1 {
             let mut adapter = SyncAdapter(provider);
             return self.shards[0].handle_sequenced_updates(updates, &mut adapter, now);
@@ -603,6 +710,16 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
 
     /// The earliest pending deferred-probe time across all shards.
     pub fn next_deferred_due(&mut self) -> Option<f64> {
+        // Logged even though it looks like a read: each shard lazily pops
+        // stale timer entries, mutating the deferred heaps checkpoints
+        // serialize.
+        if let Some(mut w) = self.wal.take() {
+            let result = self.next_deferred_due();
+            w.log_next_due();
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         self.shards.iter_mut().filter_map(|s| s.next_deferred_due()).min_by(|a, b| a.total_cmp(b))
     }
 
@@ -614,6 +731,16 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         provider: &mut dyn LocationProvider,
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)> {
+        if let Some(mut w) = self.wal.take() {
+            let result = {
+                let mut rp = w.recorder(provider);
+                self.process_deferred(&mut rp, now)
+            };
+            w.log_process_deferred(now);
+            self.wal = Some(w);
+            self.wal_post_op();
+            return result;
+        }
         if self.shards.len() == 1 {
             return self.shards[0].process_deferred(provider, now);
         }
@@ -623,6 +750,415 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         }
         self.finish_batch_in(&mut responses, 0, provider, now);
         responses
+    }
+
+    // ------------------------------------------------------------------
+    // Durability plane (coordinator WAL + checkpoints + recovery)
+    // ------------------------------------------------------------------
+
+    /// Creates the configured durability store — one arbiter log plus one
+    /// partition log per shard — and attaches a fresh coordinator WAL,
+    /// rooted at a checkpoint of the whole fleet's state.
+    pub fn attach_durability(&mut self) -> Result<(), RecoveryError> {
+        let d = self.config.durability;
+        let Some(dir) = d.dir else { return Err(RecoveryError::Disabled) };
+        let mut payload = Vec::new();
+        self.encode_state(&mut payload);
+        let store = srb_durable::Store::create(
+            Path::new(dir),
+            self.shards.len() + 1,
+            d.policy,
+            d.group_ops,
+            &payload,
+        )?;
+        self.wal = Some(Box::new(Wal::new(store, d.checkpoint_ops)));
+        Ok(())
+    }
+
+    /// Rebuilds a sharded server from the durability directory in
+    /// `config.durability`: loads the newest valid checkpoint, replays the
+    /// arbiter log against the shard partition logs generation by
+    /// generation, and reattaches the WAL. `shards` must match the crashed
+    /// instance's shard count (it also fixes the expected log count).
+    /// Returns the server and the number of replayed operations.
+    pub fn recover(config: ServerConfig, shards: usize) -> Result<(Self, usize), RecoveryError> {
+        let d = config.durability;
+        let Some(dir) = d.dir else { return Err(RecoveryError::Disabled) };
+        let rec = srb_durable::Store::recover(Path::new(dir), shards + 1, d.policy, d.group_ops)?;
+        let mut server = Self::decode_state(&config, shards, &rec.payload)?;
+        let mut replayed = 0usize;
+        for genf in &rec.generations {
+            // Partition cursors restart with each generation: a checkpoint
+            // rotation truncates every log together.
+            let mut cursors = vec![0usize; shards];
+            for payload in &genf.logs[0] {
+                server.apply_coord_record(payload, &genf.logs, &mut cursors)?;
+                replayed += 1;
+            }
+            // Partition records past the last marker are orphans of a
+            // crash mid-operation: the marker is the commit point, so they
+            // are deliberately ignored.
+        }
+        server.wal = Some(Box::new(Wal::new(rec.store, d.checkpoint_ops)));
+        Ok((server, replayed))
+    }
+
+    /// True when the coordinator WAL is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// True when an earlier I/O failure poisoned the WAL. A poisoned
+    /// coordinator keeps serving from memory but persists nothing further;
+    /// the only path back is [`ShardedServer::recover`].
+    pub fn wal_poisoned(&self) -> bool {
+        self.wal.as_ref().map(|w| w.poisoned()).unwrap_or(false)
+    }
+
+    /// The active checkpoint generation, when durability is on.
+    pub fn wal_generation(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.generation())
+    }
+
+    /// Forces every buffered log record to stable storage now.
+    pub fn sync_wal(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            w.sync();
+        }
+    }
+
+    /// Rotates the durability store to a fresh checkpoint of the current
+    /// fleet state, truncating the replay tail. Returns `false` when no
+    /// WAL is attached or the rotation failed (which poisons the WAL).
+    pub fn checkpoint(&mut self) -> bool {
+        let Some(mut w) = self.wal.take() else { return false };
+        let mut payload = Vec::new();
+        self.encode_state(&mut payload);
+        let ok = w.checkpoint(&payload).is_ok();
+        self.wal = Some(w);
+        ok
+    }
+
+    /// A 64-bit digest of the full serialized fleet state — what the crash
+    /// harness compares between a recovered run and its golden twin.
+    pub fn state_digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        self.encode_state(&mut buf);
+        wal::fnv1a64(&buf)
+    }
+
+    /// Group-commit + checkpoint-cadence bookkeeping after one logged
+    /// operation.
+    fn wal_post_op(&mut self) {
+        let due = match self.wal.as_mut() {
+            Some(w) => w.note_op(),
+            None => false,
+        };
+        if due {
+            self.checkpoint();
+        }
+    }
+
+    /// Serializes the complete fleet state: config fingerprint, shard
+    /// count, coordinator counters and maps, then every shard's own state
+    /// in shard order. Scratch buffers, thread overrides, and telemetry
+    /// handles carry no state and are excluded.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, wal::config_fingerprint(&self.config));
+        put_usize(out, self.shards.len());
+        let w = &self.coord_work;
+        for v in [
+            w.evaluations,
+            w.safe_regions,
+            w.probes_avoided,
+            w.ordering_fallbacks,
+            w.probes_range,
+            w.probes_knn_eval,
+            w.probes_radius,
+            w.probes_reeval,
+            w.probes_neighbor,
+            w.stale_seq_drops,
+            w.unknown_object_drops,
+            w.lease_probes,
+            w.regrants,
+        ] {
+            put_u64(out, v);
+        }
+        put_usize(out, self.owner.len());
+        for o in &self.owner {
+            match o {
+                None => put_u8(out, 0),
+                Some(s) => {
+                    put_u8(out, 1);
+                    put_u32(out, *s);
+                }
+            }
+        }
+        put_usize(out, self.specs.len());
+        for s in &self.specs {
+            match s {
+                None => put_u8(out, 0),
+                Some(spec) => {
+                    put_u8(out, 1);
+                    wal::put_spec(out, spec);
+                }
+            }
+        }
+        put_usize(out, self.merged.len());
+        for m in &self.merged {
+            match m {
+                None => put_u8(out, 0),
+                Some(rs) => {
+                    put_u8(out, 1);
+                    put_usize(out, rs.len());
+                    for o in rs {
+                        put_u32(out, o.0);
+                    }
+                }
+            }
+        }
+        for s in &self.shards {
+            s.encode_state(out);
+        }
+    }
+
+    /// Rebuilds a sharded server from a checkpoint payload. The WAL is
+    /// *not* attached — [`ShardedServer::recover`] does that after replay.
+    pub(crate) fn decode_state(
+        config: &ServerConfig,
+        shards: usize,
+        payload: &[u8],
+    ) -> Result<Self, RecoveryError> {
+        let mut dec = srb_durable::Dec::new(payload);
+        if dec.u64()? != wal::config_fingerprint(config) {
+            return Err(RecoveryError::ConfigMismatch);
+        }
+        if dec.usize()? != shards {
+            return Err(RecoveryError::Corrupt("checkpoint shard count mismatch"));
+        }
+        let coord_work = WorkStats {
+            evaluations: dec.u64()?,
+            safe_regions: dec.u64()?,
+            probes_avoided: dec.u64()?,
+            ordering_fallbacks: dec.u64()?,
+            probes_range: dec.u64()?,
+            probes_knn_eval: dec.u64()?,
+            probes_radius: dec.u64()?,
+            probes_reeval: dec.u64()?,
+            probes_neighbor: dec.u64()?,
+            stale_seq_drops: dec.u64()?,
+            unknown_object_drops: dec.u64()?,
+            lease_probes: dec.u64()?,
+            regrants: dec.u64()?,
+        };
+        let n_owner = dec.len(1)?;
+        let mut owner = Vec::with_capacity(n_owner);
+        for _ in 0..n_owner {
+            owner.push(match dec.u8()? {
+                0 => None,
+                1 => {
+                    let s = dec.u32()?;
+                    if s as usize >= shards {
+                        return Err(RecoveryError::Corrupt("owner names a missing shard"));
+                    }
+                    Some(s)
+                }
+                _ => return Err(RecoveryError::Corrupt("bad owner tag")),
+            });
+        }
+        let n_specs = dec.len(1)?;
+        let mut specs = Vec::with_capacity(n_specs);
+        for _ in 0..n_specs {
+            specs.push(match dec.u8()? {
+                0 => None,
+                1 => Some(wal::dec_spec(&mut dec)?),
+                _ => return Err(RecoveryError::Corrupt("bad spec tag")),
+            });
+        }
+        let n_merged = dec.len(1)?;
+        let mut merged = Vec::with_capacity(n_merged);
+        for _ in 0..n_merged {
+            merged.push(match dec.u8()? {
+                0 => None,
+                1 => {
+                    let n = dec.len(4)?;
+                    let mut rs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        rs.push(ObjectId(dec.u32()?));
+                    }
+                    Some(rs)
+                }
+                _ => return Err(RecoveryError::Corrupt("bad merged tag")),
+            });
+        }
+        let shard_config = ServerConfig { durability: DurabilityConfig::default(), ..*config };
+        let mut shard_servers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            shard_servers.push(Server::decode_state_from(&shard_config, &mut dec)?);
+        }
+        dec.finish()?;
+        Ok(ShardedServer {
+            shards: shard_servers,
+            owner,
+            specs,
+            merged,
+            coord_work,
+            threads: None,
+            shard_batch_ns: (0..shards)
+                .map(|i| srb_obs::registry().histogram(&format!("sharded.shard{i}.batch_ns")))
+                .collect(),
+            scratch: CoordScratch::default(),
+            wal: None,
+            config: *config,
+        })
+    }
+
+    /// Partitions a sequenced batch by owning shard and appends each
+    /// non-empty partition to its shard log. Returns the per-shard update
+    /// counts for the marker record.
+    fn wal_partition_seq(&self, updates: &[SequencedUpdate], w: &mut Wal) -> Vec<u32> {
+        let mut parts: Vec<Vec<SequencedUpdate>> = vec![Vec::new(); self.shards.len()];
+        for &u in updates {
+            // Unknown objects go to shard 0, matching `partition`.
+            parts[self.owner_of(u.id).unwrap_or(0)].push(u);
+        }
+        let counts = parts.iter().map(|p| p.len() as u32).collect();
+        for (i, p) in parts.iter().enumerate() {
+            if !p.is_empty() {
+                w.append_part_seq(i, p);
+            }
+        }
+        counts
+    }
+
+    /// Raw-batch twin of [`wal_partition_seq`](Self::wal_partition_seq).
+    fn wal_partition_raw(&self, updates: &[(ObjectId, Point)], w: &mut Wal) -> Vec<u32> {
+        let mut parts: Vec<Vec<(ObjectId, Point)>> = vec![Vec::new(); self.shards.len()];
+        for &u in updates {
+            parts[self.owner_of(u.0).unwrap_or(0)].push(u);
+        }
+        let counts = parts.iter().map(|p| p.len() as u32).collect();
+        for (i, p) in parts.iter().enumerate() {
+            if !p.is_empty() {
+                w.append_part_raw(i, p);
+            }
+        }
+        counts
+    }
+
+    /// Replays one arbiter-log record through the public entry points.
+    /// Batch markers pull their partitions from the shard logs at
+    /// `cursors`; every structural mismatch is a typed error, never a
+    /// panic.
+    fn apply_coord_record(
+        &mut self,
+        payload: &[u8],
+        gen_logs: &[Vec<Vec<u8>>],
+        cursors: &mut [usize],
+    ) -> Result<(), RecoveryError> {
+        match wal::decode_record(payload)? {
+            Record::AddObject { id, pos, now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.add_object(id, pos, &mut rp, now);
+                check_replay(&rp)
+            }
+            Record::RemoveObject { id, now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.remove_object(id, &mut rp, now);
+                check_replay(&rp)
+            }
+            Record::RegisterQuery { spec, now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.register_query(spec, &mut rp, now);
+                check_replay(&rp)
+            }
+            Record::DeregisterQuery { id } => {
+                let _ = self.deregister_query(id);
+                Ok(())
+            }
+            Record::Update { id, pos, now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.handle_location_update(id, pos, &mut rp, now);
+                check_replay(&rp)
+            }
+            Record::Batch { now, updates, shard_counts, probes } => {
+                if !updates.is_empty() {
+                    return Err(RecoveryError::Corrupt("inline batch in a sharded log"));
+                }
+                let updates = self.take_partitions(&shard_counts, gen_logs, cursors, false)?;
+                let seq = match updates {
+                    Partitions::Seq(v) => v,
+                    Partitions::Raw(_) => unreachable!("seq partitions requested"),
+                };
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.handle_sequenced_updates(&seq, &mut rp, now);
+                check_replay(&rp)
+            }
+            Record::RawBatch { now, updates, shard_counts, probes } => {
+                if !updates.is_empty() {
+                    return Err(RecoveryError::Corrupt("inline batch in a sharded log"));
+                }
+                let updates = self.take_partitions(&shard_counts, gen_logs, cursors, true)?;
+                let raw = match updates {
+                    Partitions::Raw(v) => v,
+                    Partitions::Seq(_) => unreachable!("raw partitions requested"),
+                };
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.handle_location_updates(&raw, &mut rp, now);
+                check_replay(&rp)
+            }
+            Record::ProcessDeferred { now, probes } => {
+                let mut rp = ReplayProvider::new(&probes);
+                let _ = self.process_deferred(&mut rp, now);
+                check_replay(&rp)
+            }
+            Record::NextDue => {
+                let _ = self.next_deferred_due();
+                Ok(())
+            }
+        }
+    }
+
+    /// Reassembles a marker's batch from the shard partition logs,
+    /// advancing each referenced shard's cursor. The reassembled order
+    /// groups by shard, which is execution-equivalent to the original
+    /// interleaving: batch processing partitions by owner anyway, and
+    /// relative order within a shard is preserved.
+    fn take_partitions(
+        &self,
+        counts: &[u32],
+        gen_logs: &[Vec<Vec<u8>>],
+        cursors: &mut [usize],
+        raw: bool,
+    ) -> Result<Partitions, RecoveryError> {
+        if counts.len() != self.shards.len() {
+            return Err(RecoveryError::Corrupt("marker shard count mismatch"));
+        }
+        let mut seq: Vec<SequencedUpdate> = Vec::new();
+        let mut raws: Vec<(ObjectId, Point)> = Vec::new();
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let rec = gen_logs[i + 1]
+                .get(cursors[i])
+                .ok_or(RecoveryError::Corrupt("missing shard partition"))?;
+            cursors[i] += 1;
+            if raw {
+                let part = wal::decode_part_raw(rec)?;
+                if part.len() != c as usize {
+                    return Err(RecoveryError::Corrupt("partition length mismatch"));
+                }
+                raws.extend(part);
+            } else {
+                let part = wal::decode_part_seq(rec)?;
+                if part.len() != c as usize {
+                    return Err(RecoveryError::Corrupt("partition length mismatch"));
+                }
+                seq.extend(part);
+            }
+        }
+        Ok(if raw { Partitions::Raw(raws) } else { Partitions::Seq(seq) })
     }
 
     // ------------------------------------------------------------------
@@ -929,6 +1465,21 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
     }
 }
 
+/// A reassembled marker batch: either shape, matching the marker opcode.
+enum Partitions {
+    Seq(Vec<SequencedUpdate>),
+    Raw(Vec<(ObjectId, Point)>),
+}
+
+/// Surfaces a replay that consumed its probe transcript incorrectly.
+fn check_replay(rp: &ReplayProvider<'_>) -> Result<(), RecoveryError> {
+    if rp.diverged() {
+        Err(RecoveryError::Corrupt("replay diverged from the probe transcript"))
+    } else {
+        Ok(())
+    }
+}
+
 /// One shard's batch outcome: its responses plus its wall-clock batch
 /// duration (`None` for empty batches or when telemetry is off).
 type ShardBatchResult = (Vec<(ObjectId, UpdateResponse)>, Option<u64>);
@@ -987,6 +1538,7 @@ fn splitmix64(x: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::provider::FnProvider;
+    use srb_index::RStarTree;
 
     #[test]
     fn parse_threads_accepts_positive_integers() {
@@ -1206,6 +1758,134 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    /// A unique throwaway durability directory (leaked so the config can
+    /// hold a `&'static str`).
+    fn temp_dir(tag: &str) -> &'static str {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("srb-sharded-{tag}-{}-{n}", std::process::id()));
+        Box::leak(dir.to_string_lossy().into_owned().into_boxed_str())
+    }
+
+    #[test]
+    fn durable_sharded_recovery_is_bit_identical() {
+        let dir = temp_dir("roundtrip");
+        let config = ServerConfig {
+            durability: crate::config::DurabilityConfig { dir: Some(dir), ..Default::default() },
+            ..Default::default()
+        };
+        let mut positions = world(20, 42);
+        let mut sharded = ShardedServer::new(config, 3);
+        assert!(sharded.wal_attached());
+        for s in sharded.shards() {
+            assert!(!s.wal_attached(), "shards must not own a durability store");
+        }
+        {
+            let snapshot = positions.clone();
+            let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+            for (i, &p) in snapshot.iter().enumerate() {
+                sharded.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+            }
+            for spec in [
+                QuerySpec::range(Rect::new(Point::new(0.1, 0.1), Point::new(0.6, 0.6))),
+                QuerySpec::knn(Point::new(0.5, 0.5), 3),
+            ] {
+                sharded.register_query(spec, &mut provider, 0.0);
+            }
+        }
+        let mut seqs = vec![0u64; positions.len()];
+        for round in 1..=8u64 {
+            step(&mut positions, round);
+            let now = round as f64 * 0.1;
+            let batch: Vec<SequencedUpdate> = positions
+                .iter()
+                .enumerate()
+                .filter(|&(i, &p)| {
+                    sharded.safe_region(ObjectId(i as u32)).is_none_or(|r| !r.contains_point(p))
+                })
+                .map(|(i, &p)| {
+                    seqs[i] += 1;
+                    SequencedUpdate { id: ObjectId(i as u32), pos: p, seq: seqs[i] }
+                })
+                .collect();
+            let snapshot = positions.clone();
+            let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+            sharded.handle_sequenced_updates(&batch, &mut provider, now);
+        }
+        sharded.deregister_query(QueryId(0));
+        sharded.sync_wal();
+        assert!(!sharded.wal_poisoned());
+        let digest = sharded.state_digest();
+        drop(sharded);
+        let (recovered, replayed) =
+            ShardedServer::<RStarTree>::recover(config, 3).expect("recovery");
+        assert!(replayed > 0, "operations were logged and must replay");
+        assert_eq!(recovered.state_digest(), digest, "recovery must be bit-identical");
+        recovered.check_invariants_deep();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn durable_sharded_checkpoint_truncates_replay_tail() {
+        let dir = temp_dir("ckpt");
+        let config = ServerConfig {
+            durability: crate::config::DurabilityConfig { dir: Some(dir), ..Default::default() },
+            ..Default::default()
+        };
+        let positions = world(12, 9);
+        let mut sharded = ShardedServer::new(config, 2);
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        for (i, &p) in snapshot.iter().enumerate() {
+            sharded.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+        }
+        sharded.register_query(QuerySpec::knn(Point::new(0.4, 0.4), 2), &mut provider, 0.0);
+        let gen_before = sharded.wal_generation().unwrap();
+        assert!(sharded.checkpoint());
+        assert!(sharded.wal_generation().unwrap() > gen_before);
+        let digest = sharded.state_digest();
+        drop(sharded);
+        let (recovered, replayed) =
+            ShardedServer::<RStarTree>::recover(config, 2).expect("recovery");
+        assert_eq!(replayed, 0, "checkpoint must have truncated the log tail");
+        assert_eq!(recovered.state_digest(), digest);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn parallel_path_under_wal_stays_sequentially_logged() {
+        let dir = temp_dir("par");
+        let config = ServerConfig {
+            durability: crate::config::DurabilityConfig { dir: Some(dir), ..Default::default() },
+            ..Default::default()
+        };
+        let positions = world(16, 5);
+        let mut sharded = ShardedServer::new(config, 2).with_threads(4);
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        for (i, &p) in snapshot.iter().enumerate() {
+            sharded.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+        }
+        let batch: Vec<SequencedUpdate> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| SequencedUpdate { id: ObjectId(i as u32), pos: p, seq: 1 })
+            .collect();
+        let sync = |id: ObjectId| snapshot[id.index()];
+        // Must fall back to the sequential path and log the batch.
+        sharded.handle_sequenced_updates_parallel(&batch, &sync, 0.5);
+        sharded.sync_wal();
+        let digest = sharded.state_digest();
+        drop(sharded);
+        let (recovered, replayed) =
+            ShardedServer::<RStarTree>::recover(config, 2).expect("recovery");
+        assert!(replayed > 0);
+        assert_eq!(recovered.state_digest(), digest);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 
 use proptest::prelude::*;
 use srb_core::{
-    FnProvider, ObjectId, QueryId, QuerySpec, SequencedUpdate, Server, ServerConfig, ShardedServer,
+    DurabilityConfig, FnProvider, ObjectId, QueryId, QuerySpec, SequencedUpdate, Server,
+    ServerConfig, ShardedServer, SyncPolicy,
 };
 use srb_geom::{Point, Rect};
 
@@ -152,6 +153,135 @@ fn drive(n_shards: usize, seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
     }
 }
 
+/// The same churn stream on a *durable* sharded server, with a restart in
+/// the middle: log everything, drop the server cold, recover, and prove
+/// the generational slot keys survive — the recovered state is
+/// bit-identical, dead queries stay dead across the restart, and live
+/// ones still answer exactly their predicate.
+fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir: &'static str = Box::leak(
+        std::env::temp_dir()
+            .join(format!("srb-churn-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed)))
+            .to_string_lossy()
+            .into_owned()
+            .into_boxed_str(),
+    );
+    let cfg = ServerConfig {
+        grid_m: 10,
+        durability: DurabilityConfig {
+            dir: Some(dir),
+            policy: SyncPolicy::GroupCommit,
+            group_ops: 3,
+            checkpoint_ops: 11,
+        },
+        ..Default::default()
+    };
+
+    let mut positions: Vec<Point> = (0..N_OBJECTS)
+        .map(|i| {
+            let (x, y) = seed_pts[i % seed_pts.len()];
+            Point::new((x + i as f64 * 0.013).fract(), (y + i as f64 * 0.029).fract())
+        })
+        .collect();
+    let mut server = ShardedServer::new(cfg, 2);
+    {
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        for (i, &p) in snapshot.iter().enumerate() {
+            server.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+        }
+    }
+
+    let mut live: Vec<(QueryId, Rect)> = Vec::new();
+    let mut dead: Vec<QueryId> = Vec::new();
+    let mut seqs = [0u64; N_OBJECTS];
+    let mut now = 0.0;
+    // The restart splits the stream roughly in half; every batch before it
+    // is replayed from the log, every batch after it runs on the
+    // recovered server.
+    let restart_after = batches.len() / 2;
+    for (bi, batch_events) in batches.iter().enumerate() {
+        now += 0.1;
+        let mut batch: Vec<SequencedUpdate> = Vec::new();
+        for ev in batch_events {
+            match *ev {
+                Ev::Register { cx, cy, half } => {
+                    let rect = range_rect(cx, cy, half);
+                    let snapshot = positions.clone();
+                    let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+                    let r = server.register_query(QuerySpec::range(rect), &mut provider, now);
+                    dead.retain(|&d| d != r.id);
+                    live.push((r.id, rect));
+                }
+                Ev::Deregister { pick } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (qid, _) = live.remove(pick % live.len());
+                    assert!(server.deregister_query(qid), "was registered");
+                    dead.push(qid);
+                }
+                Ev::Move { obj, dx, dy } => {
+                    let p = &mut positions[obj];
+                    p.x = (p.x + dx).clamp(0.0, 1.0);
+                    p.y = (p.y + dy).clamp(0.0, 1.0);
+                    seqs[obj] += 1;
+                    batch.push(SequencedUpdate {
+                        id: ObjectId(obj as u32),
+                        pos: *p,
+                        seq: seqs[obj],
+                    });
+                }
+            }
+        }
+        let snapshot = positions.clone();
+        let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
+        server.handle_sequenced_updates(&batch, &mut provider, now);
+        // Updates may defer probes (the Slack scheme), leaving results
+        // provisional until the deferral fires; drain them so the oracle
+        // below compares against *exact* results. Time stays monotonic:
+        // `now` only ever moves forward to the due times.
+        for _ in 0..16 {
+            let Some(due) = server.next_deferred_due() else { break };
+            now = now.max(due);
+            server.process_deferred(&mut provider, now);
+        }
+
+        if bi == restart_after {
+            let before = server.state_digest();
+            server.sync_wal();
+            drop(server);
+            let (recovered, _replayed) =
+                ShardedServer::recover(cfg, 2).expect("recovery of a cleanly synced log");
+            server = recovered;
+            assert_eq!(
+                server.state_digest(),
+                before,
+                "recovered state diverged from the pre-restart server"
+            );
+        }
+
+        server.check_invariants();
+        // Dead queries stay dead — including across the restart, where a
+        // naive slot decoder could resurrect a freed slot's last occupant.
+        for &qid in &dead {
+            assert!(server.results(qid).is_none(), "dead query {qid} resurrected");
+        }
+        for &(qid, rect) in &live {
+            let expected: Vec<ObjectId> = (0..N_OBJECTS)
+                .map(|i| ObjectId(i as u32))
+                .filter(|o| rect.contains_point(positions[o.index()]))
+                .collect();
+            let mut got = server.results(qid).expect("live query answers").to_vec();
+            got.sort_unstable();
+            assert_eq!(got, expected, "results for {qid} diverged from oracle at t={now}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -174,4 +304,68 @@ proptest! {
     ) {
         drive(1, &seed_pts, &batches);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Churn + crash-recovery: generational slot keys never resurrect a
+    /// dead query across a restart, and the recovered state is
+    /// bit-identical to the server that went down.
+    #[test]
+    fn query_churn_survives_recovery(
+        seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..12),
+        batches in prop::collection::vec(prop::collection::vec(arb_event(), 1..8), 2..8),
+    ) {
+        drive_durable(&seed_pts, &batches);
+    }
+}
+
+/// Regression: a probe during a *later* query's registration reveals an
+/// object's new position before the object's own report arrives. The
+/// revelation must maintain the object's membership in *existing* queries
+/// — otherwise the subsequent report is a no-move no-op (the probe already
+/// advanced the known position past the old cell) and the stale result
+/// sticks forever.
+#[test]
+fn registration_probe_maintains_existing_queries() {
+    let cfg = ServerConfig { grid_m: 10, ..Default::default() };
+    let mut s = Server::new(cfg);
+    let pos0 = Point::new(0.6627, 0.2982);
+    let pos1 = Point::new(0.7167, 0.3095);
+    let mut p0 = FnProvider(|_id: ObjectId| pos0);
+    s.add_object(ObjectId(0), pos0, &mut p0, 0.0).unwrap();
+    // rect2 ~ [0.378,0.666]x[0.263,0.552]: contains pos0, not pos1.
+    let rect2 = Rect::centered(
+        Point::new(0.5220289215726522, 0.4077979850184952),
+        0.14440198725406778,
+        0.14440198725406778,
+    );
+    let q2 = s.register_query(QuerySpec::range(rect2), &mut p0, 0.4).id;
+    assert_eq!(s.results(q2), Some(&[ObjectId(0)][..]));
+
+    // The world moves; the report is still in flight when q3 registers and
+    // its evaluation probes the object at the new position.
+    let mut p1 = FnProvider(|_id: ObjectId| pos1);
+    let rect3 = Rect::centered(
+        Point::new(0.35197929094822367, 0.473441441763935),
+        0.25322598081137027,
+        0.25322598081137027,
+    );
+    let r3 = s.register_query(QuerySpec::range(rect3), &mut p1, 0.4);
+    assert!(
+        r3.changes.iter().any(|c| c.query == q2),
+        "the revelation must surface q2's result change in the response"
+    );
+    assert_eq!(s.results(q2).map(<[ObjectId]>::to_vec), Some(vec![]), "q2 drops the mover");
+
+    // The (now redundant) report must stay a no-op, not resurrect anything.
+    s.handle_sequenced_updates(
+        &[SequencedUpdate { id: ObjectId(0), pos: pos1, seq: 1 }],
+        &mut p1,
+        0.4,
+    );
+    assert_eq!(s.results(q2).map(<[ObjectId]>::to_vec), Some(vec![]));
+    assert_eq!(s.results(r3.id).map(<[ObjectId]>::to_vec), Some(vec![]));
+    s.check_invariants();
 }

@@ -1,0 +1,56 @@
+//! Hand-rolled IEEE CRC-32 (polynomial `0xEDB88320`, the zlib/Ethernet
+//! variant). The workspace vendors its dependencies, so the checksum is
+//! implemented here from the reference table construction.
+
+/// The 256-entry lookup table, built once at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (init `!0`, final xor `!0` — the standard IEEE form).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // The canonical check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_always_detected() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let base = crc32(data);
+        let mut buf = data.to_vec();
+        for i in 0..buf.len() * 8 {
+            buf[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&buf), base, "bit {i} undetected");
+            buf[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

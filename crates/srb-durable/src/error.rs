@@ -1,0 +1,63 @@
+use crate::crash::CrashPoint;
+use std::fmt;
+
+/// Everything that can go wrong in the durability plane. Recovery code
+/// never panics on corrupt input — it returns one of these (or degrades
+/// gracefully, for a torn log *tail*).
+#[derive(Debug)]
+pub enum DurableError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A checkpoint or log file does not start with its magic bytes.
+    BadMagic,
+    /// A checkpoint's CRC does not cover its contents.
+    CrcMismatch,
+    /// A record or checkpoint ended before its declared length.
+    ShortRecord,
+    /// A file's embedded generation or log index disagrees with its name
+    /// or with the checkpoint it must pair with.
+    GenerationMismatch {
+        /// The generation the caller expected.
+        expected: u64,
+        /// The generation actually found in the file.
+        found: u64,
+    },
+    /// Structurally invalid payload (a CRC-valid frame that decodes to an
+    /// impossible value).
+    Corrupt(&'static str),
+    /// An armed [`CrashPoint`] fired: the simulated process died here. The
+    /// on-disk state reflects exactly what a real crash at this boundary
+    /// would leave behind.
+    Injected(CrashPoint),
+    /// The store was poisoned by an earlier failure; no further writes are
+    /// accepted (the process is considered dead — recover from disk).
+    Poisoned,
+    /// Recovery found no usable checkpoint in the directory.
+    NoState,
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "i/o error: {e}"),
+            DurableError::BadMagic => write!(f, "bad magic bytes"),
+            DurableError::CrcMismatch => write!(f, "checksum mismatch"),
+            DurableError::ShortRecord => write!(f, "record shorter than declared"),
+            DurableError::GenerationMismatch { expected, found } => {
+                write!(f, "generation mismatch: expected {expected}, found {found}")
+            }
+            DurableError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            DurableError::Injected(p) => write!(f, "injected crash at {p:?}"),
+            DurableError::Poisoned => write!(f, "store poisoned by an earlier failure"),
+            DurableError::NoState => write!(f, "no usable checkpoint found"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}

@@ -177,6 +177,20 @@ pub trait SpatialBackend {
 
     /// Structural snapshot for logs and bench rows.
     fn stats(&self) -> BackendStats;
+
+    /// Serializes the backend's full structure bit-exactly for a
+    /// durability checkpoint: arenas, free lists, bucket orders, and the
+    /// visit counter all round-trip verbatim, so a recovered backend
+    /// enumerates, allocates, and counts identically to one that never
+    /// restarted.
+    fn encode_state(&self, out: &mut Vec<u8>);
+
+    /// Rebuilds a backend from [`encode_state`](Self::encode_state)
+    /// bytes. Total: structural corruption yields a typed error, never a
+    /// panic.
+    fn decode_state(dec: &mut srb_durable::Dec<'_>) -> Result<Self, srb_durable::DurableError>
+    where
+        Self: Sized;
 }
 
 // ---------------------------------------------------------------------------
@@ -325,5 +339,13 @@ impl SpatialBackend for RStarTree {
             nodes: self.live_nodes(),
             visits: self.visits(),
         }
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        RStarTree::encode_state(self, out);
+    }
+
+    fn decode_state(dec: &mut srb_durable::Dec<'_>) -> Result<Self, srb_durable::DurableError> {
+        RStarTree::decode_state(dec)
     }
 }

@@ -72,13 +72,13 @@ impl GridConfig {
 /// design; semantics match [`RStarTree`](crate::RStarTree) exactly (pinned
 /// by the backend-equivalence proptest).
 pub struct UniformGrid {
-    space: Rect,
-    m: usize,
-    cell_w: f64,
-    cell_h: f64,
-    buckets: Vec<Vec<LeafEntry>>,
-    rects: FastMap<EntryId, Rect>,
-    visits: Cell<u64>,
+    pub(crate) space: Rect,
+    pub(crate) m: usize,
+    pub(crate) cell_w: f64,
+    pub(crate) cell_h: f64,
+    pub(crate) buckets: Vec<Vec<LeafEntry>>,
+    pub(crate) rects: FastMap<EntryId, Rect>,
+    pub(crate) visits: Cell<u64>,
 }
 
 impl UniformGrid {
@@ -425,6 +425,14 @@ impl SpatialBackend for UniformGrid {
             nodes: self.occupied_cells(),
             visits: self.visits(),
         }
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        UniformGrid::encode_state(self, out);
+    }
+
+    fn decode_state(dec: &mut srb_durable::Dec<'_>) -> Result<Self, srb_durable::DurableError> {
+        UniformGrid::decode_state(dec)
     }
 }
 

@@ -38,6 +38,7 @@ mod backend;
 mod bulk;
 mod grid;
 mod node;
+mod persist;
 mod split;
 
 pub use backend::{BackendConfig, BackendStats, NearestScratch, NearestStream, SpatialBackend};
@@ -193,16 +194,16 @@ pub struct Neighbor {
 
 /// The R\*-tree.
 pub struct RStarTree {
-    nodes: Vec<Node>,
-    free: Vec<NodeId>,
-    root: NodeId,
-    len: usize,
-    leaf_of: FastMap<EntryId, NodeId>,
-    config: TreeConfig,
-    visits: Cell<u64>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    pub(crate) len: usize,
+    pub(crate) leaf_of: FastMap<EntryId, NodeId>,
+    pub(crate) config: TreeConfig,
+    pub(crate) visits: Cell<u64>,
     /// Bulk-loaded trees may have trailing nodes below `min_entries`; the
     /// invariant checker relaxes the fill-factor assertion for them.
-    relaxed_min: bool,
+    pub(crate) relaxed_min: bool,
 }
 
 impl Default for RStarTree {

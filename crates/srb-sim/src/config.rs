@@ -1,7 +1,7 @@
 //! Simulation configuration (paper Table 7.1).
 
 use crate::channel::ChannelConfig;
-use srb_core::{BackendConfig, CostModel};
+use srb_core::{BackendConfig, CostModel, DurabilityConfig};
 use srb_geom::Rect;
 use srb_mobility::RetryPolicy;
 
@@ -81,6 +81,12 @@ pub struct SimConfig {
     /// run one simulation at a time when dumping a timeline. `None`
     /// (default) writes nothing.
     pub timeline: Option<&'static str>,
+    /// Durability plane of the SRB server (write-ahead log +
+    /// checkpoints). Off by default so the paper's in-memory semantics
+    /// run with zero logging overhead; [`paper_defaults`]
+    /// (Self::paper_defaults) reads `SRB_DURABLE=1` /
+    /// `SRB_DURABLE_DIR` from the environment.
+    pub durable: DurabilityConfig,
 }
 
 impl SimConfig {
@@ -112,6 +118,7 @@ impl SimConfig {
             shards: 1,
             backend: BackendConfig::from_env(),
             timeline: None,
+            durable: DurabilityConfig::from_env(),
         }
     }
 
@@ -168,6 +175,9 @@ mod tests {
         assert_eq!(c.shards, 1, "the paper's server is unsharded");
         if std::env::var("SRB_BACKEND").is_err() {
             assert_eq!(c.backend.label(), "rstar", "default backend is the paper's R*-tree");
+        }
+        if std::env::var("SRB_DURABLE").is_err() {
+            assert!(!c.durable.enabled(), "durability is off unless SRB_DURABLE=1");
         }
     }
 

@@ -77,6 +77,7 @@ pub fn run_srb_with<B: SpatialBackend + Send>(cfg: &SimConfig) -> RunMetrics {
         cost: cfg.cost,
         lease: cfg.lease,
         backend: cfg.backend,
+        durability: cfg.durable,
     };
     let mut server = ShardedServer::<B>::with_backend(server_cfg, cfg.shards);
     let mut channel = make_channel(cfg);
@@ -368,6 +369,9 @@ pub fn run_srb_with<B: SpatialBackend + Send>(cfg: &SimConfig) -> RunMetrics {
     }
 
     flush_batch!();
+    // End of run: force any group-commit-buffered log records to stable
+    // storage so a post-run recovery sees the complete history.
+    server.sync_wal();
 
     // --- Finish -----------------------------------------------------------
     let costs = server.costs();
@@ -404,7 +408,10 @@ pub fn run_srb_with<B: SpatialBackend + Send>(cfg: &SimConfig) -> RunMetrics {
     if let (Some(path), Some((lines, _))) = (cfg.timeline, timeline) {
         let mut body = lines.join("\n");
         body.push('\n');
-        if let Err(e) = std::fs::write(path, body) {
+        // Crash-safe write: a reader never sees a half-written timeline.
+        if let Err(e) =
+            srb_durable::atomic::atomic_write(std::path::Path::new(path), body.as_bytes())
+        {
             eprintln!("[srb-sim] failed to write timeline {path}: {e}");
         }
     }

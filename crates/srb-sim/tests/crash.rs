@@ -1,0 +1,490 @@
+//! Crash-injection harness: proves recovery is bit-identical at every
+//! fsync/rename boundary of the durability plane.
+//!
+//! The method is a golden-digest prefix table. One uninterrupted run with
+//! durability OFF records the state digest after every logged operation
+//! of a deterministic script. Each crash run arms one [`CrashPoint`] (the
+//! `nth` time it is reached), drives the same script until the WAL
+//! poisons, drops the server cold (losing every unsynced buffer, exactly
+//! like a power cut), recovers from disk, and locates the recovered
+//! digest in the golden table — recovery must land on *some* completed
+//! prefix of the script, never a torn intermediate state. The remaining
+//! operations are then re-driven and the final digest must equal the
+//! golden run's, operation for operation and bit for bit.
+//!
+//! The same matrix runs on the plain [`Server`] (one log) and a 2-shard
+//! [`ShardedServer`] (per-shard partition logs + a coordinator marker
+//! log), plus a grid-backend round trip and a corruption fuzzer that
+//! bit-flips and truncates every file in the store — recovery may refuse
+//! (an error is a fine answer to a mangled disk) but must never panic.
+
+use srb_core::{
+    BackendConfig, CrashPoint, DurabilityConfig, FnProvider, GridConfig, LocationProvider,
+    ObjectId, QueryId, QuerySpec, RecoveryError, Server, ServerConfig, ShardedServer, SyncPolicy,
+    UniformGrid,
+};
+use srb_durable::crash;
+use srb_geom::{Point, Rect};
+use srb_index::SpatialBackend;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Objects seeded by the script's opening rounds.
+const N_OBJ: u64 = 16;
+/// Rounds in the script (each round expands to 1–2 primitive ops).
+const N_ROUNDS: u64 = 64;
+
+fn scratch(tag: &str) -> &'static str {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "srb-crash-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    Box::leak(d.to_string_lossy().into_owned().into_boxed_str())
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn frac(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The whole world is this pure function: where object `id` is at round
+/// `r`. Golden run, crash run, and post-recovery resume all agree on it.
+fn pos_at(id: u64, r: u64) -> Point {
+    let h = splitmix(id.wrapping_mul(0x0100_0000_01B3).wrapping_add(r));
+    Point::new(frac(h), frac(splitmix(h)))
+}
+
+fn spec_at(r: u64) -> QuerySpec {
+    let cx = frac(splitmix(r.wrapping_mul(3).wrapping_add(1))) * 0.8 + 0.1;
+    let cy = frac(splitmix(r.wrapping_mul(3).wrapping_add(2))) * 0.8 + 0.1;
+    let c = Point::new(cx, cy);
+    match r % 4 {
+        0 | 2 => QuerySpec::range(
+            Rect::centered(c, 0.07, 0.07).intersection(&Rect::UNIT).unwrap_or(Rect::point(c)),
+        ),
+        1 => QuerySpec::knn(c, 1 + (splitmix(r) % 4) as usize),
+        _ => QuerySpec::knn_unordered(c, 1 + (splitmix(r) % 4) as usize),
+    }
+}
+
+/// The two engines under test, behind one face so the script and the
+/// crash loop are written once.
+trait Engine: Sized {
+    fn build(config: ServerConfig) -> Self;
+    fn recover(config: ServerConfig) -> Result<(Self, usize), RecoveryError>;
+    fn digest(&self) -> u64;
+    fn poisoned(&self) -> bool;
+    fn sync(&mut self);
+    fn deep_check(&self);
+    fn add_object(&mut self, id: ObjectId, pos: Point, p: &mut dyn LocationProvider, now: f64);
+    fn remove_object(&mut self, id: ObjectId, p: &mut dyn LocationProvider, now: f64);
+    fn register_query(&mut self, spec: QuerySpec, p: &mut dyn LocationProvider, now: f64);
+    fn deregister_query(&mut self, id: QueryId);
+    fn single_update(&mut self, id: ObjectId, pos: Point, p: &mut dyn LocationProvider, now: f64);
+    fn raw_batch(&mut self, ups: &[(ObjectId, Point)], p: &mut dyn LocationProvider, now: f64);
+    fn next_due(&mut self);
+    fn process_deferred(&mut self, p: &mut dyn LocationProvider, now: f64);
+}
+
+impl<B: SpatialBackend> Engine for Server<B> {
+    fn build(config: ServerConfig) -> Self {
+        Server::with_backend(config)
+    }
+    fn recover(config: ServerConfig) -> Result<(Self, usize), RecoveryError> {
+        Server::recover(config)
+    }
+    fn digest(&self) -> u64 {
+        self.state_digest()
+    }
+    fn poisoned(&self) -> bool {
+        self.wal_poisoned()
+    }
+    fn sync(&mut self) {
+        self.sync_wal();
+    }
+    fn deep_check(&self) {
+        self.check_invariants_deep();
+    }
+    fn add_object(&mut self, id: ObjectId, pos: Point, p: &mut dyn LocationProvider, now: f64) {
+        let _ = Server::add_object(self, id, pos, p, now);
+    }
+    fn remove_object(&mut self, id: ObjectId, p: &mut dyn LocationProvider, now: f64) {
+        let _ = Server::remove_object(self, id, p, now);
+    }
+    fn register_query(&mut self, spec: QuerySpec, p: &mut dyn LocationProvider, now: f64) {
+        let _ = Server::register_query(self, spec, p, now);
+    }
+    fn deregister_query(&mut self, id: QueryId) {
+        let _ = Server::deregister_query(self, id);
+    }
+    fn single_update(&mut self, id: ObjectId, pos: Point, p: &mut dyn LocationProvider, now: f64) {
+        let _ = Server::handle_location_update(self, id, pos, p, now);
+    }
+    fn raw_batch(&mut self, ups: &[(ObjectId, Point)], p: &mut dyn LocationProvider, now: f64) {
+        let _ = Server::handle_location_updates(self, ups, p, now);
+    }
+    fn next_due(&mut self) {
+        let _ = Server::next_deferred_due(self);
+    }
+    fn process_deferred(&mut self, p: &mut dyn LocationProvider, now: f64) {
+        let _ = Server::process_deferred(self, p, now);
+    }
+}
+
+/// Shard count for the sharded half of the matrix.
+const SHARDS: usize = 2;
+
+impl<B: SpatialBackend> Engine for ShardedServer<B> {
+    fn build(config: ServerConfig) -> Self {
+        ShardedServer::with_backend(config, SHARDS)
+    }
+    fn recover(config: ServerConfig) -> Result<(Self, usize), RecoveryError> {
+        ShardedServer::recover(config, SHARDS)
+    }
+    fn digest(&self) -> u64 {
+        self.state_digest()
+    }
+    fn poisoned(&self) -> bool {
+        self.wal_poisoned()
+    }
+    fn sync(&mut self) {
+        self.sync_wal();
+    }
+    fn deep_check(&self) {
+        self.check_invariants_deep();
+        self.check_invariants();
+    }
+    fn add_object(&mut self, id: ObjectId, pos: Point, p: &mut dyn LocationProvider, now: f64) {
+        let _ = ShardedServer::add_object(self, id, pos, p, now);
+    }
+    fn remove_object(&mut self, id: ObjectId, p: &mut dyn LocationProvider, now: f64) {
+        let _ = ShardedServer::remove_object(self, id, p, now);
+    }
+    fn register_query(&mut self, spec: QuerySpec, p: &mut dyn LocationProvider, now: f64) {
+        let _ = ShardedServer::register_query(self, spec, p, now);
+    }
+    fn deregister_query(&mut self, id: QueryId) {
+        let _ = ShardedServer::deregister_query(self, id);
+    }
+    fn single_update(&mut self, id: ObjectId, pos: Point, p: &mut dyn LocationProvider, now: f64) {
+        let _ = ShardedServer::handle_location_update(self, id, pos, p, now);
+    }
+    fn raw_batch(&mut self, ups: &[(ObjectId, Point)], p: &mut dyn LocationProvider, now: f64) {
+        let _ = ShardedServer::handle_location_updates(self, ups, p, now);
+    }
+    fn next_due(&mut self) {
+        let _ = ShardedServer::next_deferred_due(self);
+    }
+    fn process_deferred(&mut self, p: &mut dyn LocationProvider, now: f64) {
+        let _ = ShardedServer::process_deferred(self, p, now);
+    }
+}
+
+/// One primitive operation — exactly one WAL record. The golden prefix
+/// table is indexed at this granularity: a crash can land between any
+/// two of these, but never inside one.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Add(u64),
+    Remove(u64),
+    Register(u64),
+    Deregister(u32),
+    Single(u64),
+    Batch,
+    NextDue,
+    Deferred,
+}
+
+/// The deterministic script: object lifecycle, query churn, single and
+/// batched updates, the deferred-probe timer, and (via the lease in
+/// [`base_config`]) lease regrants inside `process_deferred`.
+fn script() -> Vec<(u64, Op)> {
+    let mut s = Vec::new();
+    for r in 0..N_ROUNDS {
+        if r < N_OBJ {
+            s.push((r, Op::Add(r)));
+            if r % 4 == 3 {
+                s.push((r, Op::Register(r)));
+            }
+            continue;
+        }
+        match r % 8 {
+            0 => s.push((r, Op::Add(1000 + r))),
+            1 => s.push((r, Op::Remove(1000 + r - 1))),
+            2 => s.push((r, Op::Register(r))),
+            3 => s.push((r, Op::Deregister((r % 6) as u32))),
+            4 => {
+                s.push((r, Op::NextDue));
+                s.push((r, Op::Single(r % N_OBJ)));
+            }
+            5 => s.push((r, Op::Deferred)),
+            _ => s.push((r, Op::Batch)),
+        }
+    }
+    s
+}
+
+fn apply<E: Engine>(e: &mut E, r: u64, op: Op) {
+    let now = 0.05 + r as f64 * 0.1;
+    let mut p = FnProvider(move |id: ObjectId| pos_at(id.0 as u64, r));
+    match op {
+        Op::Add(id) => e.add_object(ObjectId(id as u32), pos_at(id, r), &mut p, now),
+        Op::Remove(id) => e.remove_object(ObjectId(id as u32), &mut p, now),
+        Op::Register(seed) => e.register_query(spec_at(seed), &mut p, now),
+        Op::Deregister(q) => e.deregister_query(QueryId(q)),
+        Op::Single(o) => e.single_update(ObjectId(o as u32), pos_at(o, r), &mut p, now),
+        Op::Batch => {
+            let ups: Vec<(ObjectId, Point)> = (0..N_OBJ)
+                .filter(|o| (o + r).is_multiple_of(3))
+                .map(|o| (ObjectId(o as u32), pos_at(o, r)))
+                .collect();
+            e.raw_batch(&ups, &mut p, now);
+        }
+        Op::NextDue => e.next_due(),
+        Op::Deferred => e.process_deferred(&mut p, now),
+    }
+}
+
+fn base_config() -> ServerConfig {
+    ServerConfig { grid_m: 16, max_speed: Some(0.05), lease: Some(0.3), ..ServerConfig::default() }
+}
+
+/// [`base_config`] with the uniform-grid object index swapped in.
+fn grid_config() -> ServerConfig {
+    let mut cfg = base_config();
+    cfg.backend = BackendConfig::Grid(GridConfig::default());
+    cfg
+}
+
+fn durable_config(base: ServerConfig, dir: &'static str) -> ServerConfig {
+    let mut cfg = base;
+    // Tight cadences so every crash point is reached many times inside
+    // the script: a group commit every 2 ops, a checkpoint rotation
+    // every 7.
+    cfg.durability = DurabilityConfig {
+        dir: Some(dir),
+        policy: SyncPolicy::GroupCommit,
+        group_ops: 2,
+        checkpoint_ops: 7,
+    };
+    cfg
+}
+
+/// Digest-after-every-op table from an uninterrupted, durability-OFF run.
+/// `golden[j]` is the state after the first `j` primitive operations.
+fn golden_digests<E: Engine>(config: ServerConfig, script: &[(u64, Op)]) -> Vec<u64> {
+    let mut e = E::build(config);
+    let mut digests = vec![e.digest()];
+    for &(r, op) in script {
+        apply(&mut e, r, op);
+        digests.push(e.digest());
+    }
+    digests
+}
+
+/// Arms `point`/`nth`, drives the script into the crash, recovers, and
+/// proves the recovered state is a completed prefix whose resumption
+/// reproduces the golden final state bit for bit. Returns whether the
+/// point actually fired (a too-large `nth` legitimately never does).
+fn crash_run<E: Engine>(
+    base: ServerConfig,
+    point: CrashPoint,
+    nth: u32,
+    script: &[(u64, Op)],
+    golden: &[u64],
+    tag: &str,
+) -> bool {
+    let cfg = durable_config(base, scratch(tag));
+    let mut e = E::build(cfg);
+    crash::arm(point, nth);
+    for &(r, op) in script {
+        apply(&mut e, r, op);
+        if e.poisoned() {
+            break;
+        }
+    }
+    crash::disarm();
+    let injected = crash::fired();
+    // A cold drop: group-commit buffers and unsynced tails are lost, like
+    // the page cache in a power cut.
+    drop(e);
+
+    let (mut rec, _replayed) = E::recover(cfg)
+        .unwrap_or_else(|err| panic!("recovery after {point:?} #{nth} failed: {err:?}"));
+    rec.deep_check();
+    let d = rec.digest();
+    let j = golden.iter().position(|&g| g == d).unwrap_or_else(|| {
+        panic!("state recovered after {point:?} #{nth} matches no completed prefix of the script")
+    });
+    for &(r, op) in &script[j..] {
+        apply(&mut rec, r, op);
+    }
+    assert_eq!(
+        rec.digest(),
+        *golden.last().unwrap(),
+        "resume after {point:?} #{nth} diverged from the uninterrupted golden run"
+    );
+    rec.deep_check();
+    injected
+}
+
+fn crash_matrix<E: Engine>(base: ServerConfig, tag: &str) {
+    let script = script();
+    let golden = golden_digests::<E>(base, &script);
+    for &point in CrashPoint::ALL.iter() {
+        for nth in [0u32, 1, 3] {
+            let fired = crash_run::<E>(base, point, nth, &script, &golden, tag);
+            assert!(
+                fired || nth > 0,
+                "{point:?} never fired at nth=0 — the script misses that boundary"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_matrix_plain_server() {
+    crash_matrix::<Server>(base_config(), "plain");
+}
+
+#[test]
+fn crash_matrix_sharded_server() {
+    crash_matrix::<ShardedServer>(base_config(), "sharded");
+}
+
+/// The full crash matrix on the uniform-grid backend. Gated behind
+/// `SRB_BACKEND=grid` (CI's backend-agnostic recovery smoke) so the
+/// default suite pays for it once, not twice; every default run still
+/// covers grid recovery via [`grid_backend_recovers_bit_identical`].
+#[test]
+fn crash_matrix_grid_backend() {
+    if !matches!(BackendConfig::from_env(), BackendConfig::Grid(_)) {
+        return;
+    }
+    crash_matrix::<Server<UniformGrid>>(grid_config(), "grid-matrix");
+}
+
+/// With no crash injected, a durable run must shadow the golden run
+/// exactly: the WAL hooks and the recording provider may not perturb a
+/// single decision.
+#[test]
+fn durable_run_matches_golden_per_op() {
+    let script = script();
+    let golden = golden_digests::<Server>(base_config(), &script);
+    let cfg = durable_config(base_config(), scratch("shadow"));
+    let mut e = <Server as Engine>::build(cfg);
+    for (j, &(r, op)) in script.iter().enumerate() {
+        apply(&mut e, r, op);
+        assert_eq!(Engine::digest(&e), golden[j + 1], "durable run diverged at op {j} ({op:?})");
+    }
+}
+
+/// The grid backend round-trips through log + checkpoint + recovery too:
+/// the durability plane is backend-generic.
+#[test]
+fn grid_backend_recovers_bit_identical() {
+    let script = script();
+    let golden = golden_digests::<Server<UniformGrid>>(grid_config(), &script);
+
+    let cfg = durable_config(grid_config(), scratch("grid"));
+    let mut e = <Server<UniformGrid> as Engine>::build(cfg);
+    for &(r, op) in &script {
+        apply(&mut e, r, op);
+    }
+    Engine::sync(&mut e);
+    drop(e);
+    let (rec, _) = <Server<UniformGrid> as Engine>::recover(cfg).expect("grid recovery");
+    assert_eq!(Engine::digest(&rec), *golden.last().unwrap(), "grid backend recovery diverged");
+}
+
+/// Recovering with a different configuration must be refused, not
+/// silently misinterpreted: the checkpoint carries a config fingerprint.
+#[test]
+fn recovery_rejects_config_mismatch() {
+    let script = script();
+    let cfg = durable_config(base_config(), scratch("mismatch"));
+    let mut e = <Server as Engine>::build(cfg);
+    for &(r, op) in &script[..8] {
+        apply(&mut e, r, op);
+    }
+    Engine::sync(&mut e);
+    drop(e);
+    let mut other = cfg;
+    other.grid_m = 32;
+    match <Server as Engine>::recover(other) {
+        Err(RecoveryError::ConfigMismatch) => {}
+        other => panic!("expected ConfigMismatch, got {other:?}", other = other.map(|_| ())),
+    }
+}
+
+/// Bit-flips and truncations over every file of a populated store:
+/// recovery may report an error, but it must never panic, and whatever
+/// state it does accept must satisfy the deep invariants.
+#[test]
+fn corruption_fuzz_never_panics() {
+    let script = script();
+    let src = scratch("fuzz-src");
+    let cfg = durable_config(base_config(), src);
+    let mut e = <ShardedServer as Engine>::build(cfg);
+    for &(r, op) in &script {
+        apply(&mut e, r, op);
+    }
+    Engine::sync(&mut e);
+    drop(e);
+
+    let files: Vec<PathBuf> = std::fs::read_dir(src)
+        .expect("store directory")
+        .map(|entry| entry.expect("dir entry").path())
+        .collect();
+    assert!(files.len() >= 4, "expected a multi-file store, found {files:?}");
+
+    let mut cases = 0u32;
+    for victim in &files {
+        for mode in 0..5u64 {
+            let dst = scratch("fuzz");
+            std::fs::create_dir_all(dst).unwrap();
+            for f in &files {
+                std::fs::copy(f, PathBuf::from(dst).join(f.file_name().unwrap())).unwrap();
+            }
+            let target = PathBuf::from(dst).join(victim.file_name().unwrap());
+            let mut data = std::fs::read(&target).unwrap();
+            let len = data.len();
+            match mode {
+                // Torn tail: half the file survives.
+                0 => data.truncate(len / 2),
+                // Torn tail: the last few bytes vanish.
+                1 => data.truncate(len.saturating_sub(3)),
+                // A flipped bit mid-file (CRC territory).
+                2 if len > 0 => data[len / 3] ^= 0x40,
+                // A flipped bit in the header.
+                3 if len > 7 => data[7] ^= 0x01,
+                // A burst of garbage near the end.
+                _ => {
+                    let at = len.saturating_sub(len / 3).min(len);
+                    for b in &mut data[at..] {
+                        *b = 0xAA;
+                    }
+                }
+            }
+            std::fs::write(&target, &data).unwrap();
+
+            let mut fcfg = cfg;
+            fcfg.durability.dir = Some(dst);
+            // Err is acceptable (the disk is genuinely mangled); a panic
+            // is not. An Ok state must still be internally consistent.
+            if let Ok((rec, _)) = <ShardedServer as Engine>::recover(fcfg) {
+                Engine::deep_check(&rec);
+            }
+            cases += 1;
+        }
+    }
+    assert!(cases >= 20, "fuzzer barely ran: {cases} cases");
+}

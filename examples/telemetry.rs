@@ -46,7 +46,10 @@ fn main() {
 
     // --- 2. JSON snapshot for tooling --------------------------------------
     let json = snap.to_json();
-    match std::fs::write("OBS_snapshot.json", format!("{json}\n")) {
+    match srb_durable::atomic::atomic_write(
+        std::path::Path::new("OBS_snapshot.json"),
+        format!("{json}\n").as_bytes(),
+    ) {
         Ok(()) => println!("wrote OBS_snapshot.json ({} bytes)", json.len()),
         Err(e) => eprintln!("failed to write OBS_snapshot.json: {e}"),
     }
