@@ -24,7 +24,7 @@ use std::time::Instant;
 /// Timed rounds of batched updates (plus `WARMUP` untimed ones).
 const ROUNDS: u64 = 120;
 /// Untimed leading rounds: populate allocator arenas, the telemetry
-/// registry, and the rayon pool so first-touch cost lands on neither side.
+/// registry, and the worker pool so first-touch cost lands on neither side.
 const WARMUP: u64 = 10;
 
 fn splitmix64(mut x: u64) -> u64 {

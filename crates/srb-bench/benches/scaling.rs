@@ -1,21 +1,35 @@
-//! `scaling` — shard count × object count throughput sweep for the
-//! sharded batch engine.
+//! `scaling` — threads × shard count × object count throughput sweep for
+//! the sharded batch engine.
 //!
 //! Unlike the figure benches this drives `ShardedServer` directly (no
 //! event queue, no channel model): each round re-positions a tenth of the
 //! objects and pushes the batch through
-//! [`ShardedServer::handle_sequenced_updates_parallel`], which fans the
-//! per-shard work out over rayon. Reported metric: sustained update-batch
-//! throughput in updates/sec per (shards, N) cell.
+//! [`ShardedServer::handle_sequenced_updates_parallel`], i.e. through the
+//! pipelined front-end — per-shard ingest rings, persistent shard
+//! workers, streaming coordinator merge. Two series land per cell grid:
 //!
-//! Rows also land in `BENCH_scaling.json` at the repo root for tooling.
-//! Thread count follows `SRB_THREADS` (see `srb_core::configured_threads`);
-//! on a single hardware thread the parallel path degenerates to the
-//! sequential loop, so speedups only show on multi-core runners.
+//! - `mode: "batch"` — per-batch throughput over the full
+//!   threads × shards matrix (each leg pins the worker count with
+//!   `with_threads`, so the matrix is reproducible regardless of
+//!   `SRB_THREADS`);
+//! - `mode: "sustained"` — a long pre-built stream of back-to-back
+//!   batches timed as one window at the widest thread count, measuring
+//!   steady-state ingest with the rings primed and the workers hot.
+//!
+//! Both modes probe through a [`TableProvider`] snapshot, so workers
+//! answer probes locally (DESIGN.md §15) and the numbers measure the
+//! engine rather than coordinator probe round-trips.
+//!
+//! Rows also land in `BENCH_scaling.json` at the repo root for tooling —
+//! CI's scaling-regression gate (`tools/check_scaling.py`) fails if
+//! shards=4 falls below shards=2 at any gated point. With one worker the
+//! parallel path degenerates to the sequential loop, so speedups only
+//! show on multi-core runners.
 
 use srb_bench::{figure_header, full_scale};
 use srb_core::{
     configured_threads, FnProvider, ObjectId, SequencedUpdate, ServerConfig, ShardedServer,
+    TableProvider,
 };
 use srb_geom::Point;
 use srb_sim::{generate_workload, SimConfig};
@@ -23,6 +37,10 @@ use std::time::Instant;
 
 /// Rounds of batched updates timed per cell.
 const ROUNDS: u64 = 20;
+
+/// Rounds in the sustained-ingest stream: long enough that worker
+/// spawn/park transients vanish into the steady state.
+const SUSTAINED_ROUNDS: u64 = 120;
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -53,19 +71,23 @@ impl Cell {
     }
 }
 
-/// Builds a populated server, then times `ROUNDS` update batches of N/10
-/// re-positioned objects through the parallel batch path.
-fn run_cell(shards: usize, n_objects: usize, sim: &SimConfig) -> Cell {
+/// Builds a populated `shards`-way server pinned to `threads` workers.
+fn build_server(
+    shards: usize,
+    threads: usize,
+    n_objects: usize,
+    sim: &SimConfig,
+) -> (ShardedServer, Vec<Point>) {
     let server_cfg = ServerConfig {
         space: sim.space,
         grid_m: sim.grid_m,
         max_speed: Some(sim.mean_speed * 4.0),
         ..ServerConfig::default()
     };
-    let mut server = ShardedServer::new(server_cfg, shards);
+    let mut server = ShardedServer::new(server_cfg, shards).with_threads(threads);
 
     let seed = sim.seed;
-    let mut positions: Vec<Point> = (0..n_objects).map(|i| pos_of(seed, i as u64, 0)).collect();
+    let positions: Vec<Point> = (0..n_objects).map(|i| pos_of(seed, i as u64, 0)).collect();
     {
         let snapshot = positions.clone();
         let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
@@ -79,24 +101,38 @@ fn run_cell(shards: usize, n_objects: usize, sim: &SimConfig) -> Cell {
             server.register_query(spec, &mut provider, 0.0);
         }
     }
+    (server, positions)
+}
 
+/// The batch of round `round`: a rotating tenth of the fleet moves and
+/// reports; everyone else stays inside their safe region. Also applies
+/// the moves to `positions`.
+fn round_batch(
+    seed: u64,
+    n_objects: usize,
+    round: u64,
+    positions: &mut [Point],
+) -> Vec<SequencedUpdate> {
+    (0..n_objects)
+        .filter(|i| (*i as u64) % 10 == round % 10)
+        .map(|i| {
+            let id = ObjectId(i as u32);
+            positions[i] = pos_of(seed, i as u64, round);
+            SequencedUpdate { id, pos: positions[i], seq: round }
+        })
+        .collect()
+}
+
+/// Times `ROUNDS` update batches of N/10 re-positioned objects through
+/// the pipelined batch path, per-batch.
+fn run_cell(shards: usize, threads: usize, n_objects: usize, sim: &SimConfig) -> Cell {
+    let (mut server, mut positions) = build_server(shards, threads, n_objects, sim);
+    let seed = sim.seed;
     let mut updates = 0u64;
     let mut seconds = 0.0f64;
     for round in 1..=ROUNDS {
-        // A rotating tenth of the fleet moves and reports; everyone else
-        // stays inside their safe region.
-        let movers: Vec<ObjectId> = (0..n_objects)
-            .filter(|i| (*i as u64) % 10 == round % 10)
-            .map(|i| ObjectId(i as u32))
-            .collect();
-        for &id in &movers {
-            positions[id.index()] = pos_of(seed, id.0 as u64, round);
-        }
-        let batch: Vec<SequencedUpdate> = movers
-            .iter()
-            .map(|&id| SequencedUpdate { id, pos: positions[id.index()], seq: round })
-            .collect();
-        let provider = |id: ObjectId| positions[id.index()];
+        let batch = round_batch(seed, n_objects, round, &mut positions);
+        let provider = TableProvider(&positions);
         let now = round as f64 * 0.1;
         let t0 = Instant::now();
         let responses = server.handle_sequenced_updates_parallel(&batch, &provider, now);
@@ -105,38 +141,108 @@ fn run_cell(shards: usize, n_objects: usize, sim: &SimConfig) -> Cell {
         updates += batch.len() as u64;
     }
     server.check_invariants();
-    Cell { threads: configured_threads(), updates, seconds }
+    Cell { threads, updates, seconds }
+}
+
+/// Sustained ingest: every batch of the stream is built up front, then
+/// the whole submission loop is timed as one window — the rings stay
+/// primed, the workers never go cold, and the number measures the
+/// front-end's steady-state throughput rather than per-batch latency.
+fn run_sustained(shards: usize, threads: usize, n_objects: usize, sim: &SimConfig) -> Cell {
+    let (mut server, mut positions) = build_server(shards, threads, n_objects, sim);
+    let seed = sim.seed;
+    let mut prebuilt_positions = positions.clone();
+    let batches: Vec<Vec<SequencedUpdate>> = (1..=SUSTAINED_ROUNDS)
+        .map(|round| round_batch(seed, n_objects, round, &mut prebuilt_positions))
+        .collect();
+
+    let mut updates = 0u64;
+    let mut out = Vec::new();
+    let t0 = Instant::now();
+    for (i, batch) in batches.iter().enumerate() {
+        for u in batch {
+            positions[u.id.index()] = u.pos;
+        }
+        let provider = TableProvider(&positions);
+        out.clear();
+        server.handle_sequenced_updates_parallel_into(
+            batch,
+            &provider,
+            (i + 1) as f64 * 0.1,
+            &mut out,
+        );
+        updates += batch.len() as u64;
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    server.check_invariants();
+    Cell { threads, updates, seconds }
 }
 
 fn main() {
     let sim = srb_bench::base_config();
     figure_header("Scaling", "sharded batch-update throughput", &sim);
-    let (shard_counts, object_counts): (&[usize], &[usize]) = if full_scale() {
-        (&[1, 2, 4, 8], &[20_000, 100_000])
-    } else {
-        (&[1, 2, 4], &[2_000, 8_000])
-    };
+    let (shard_counts, thread_counts, object_counts): (&[usize], &[usize], &[usize]) =
+        if full_scale() {
+            (&[1, 2, 4, 8], &[1, 2, 4, 8], &[20_000, 100_000])
+        } else {
+            (&[1, 2, 4], &[1, 2, 4], &[2_000, 8_000])
+        };
     println!(
-        "    threads={} (SRB_THREADS overrides), rounds={ROUNDS}, batch=N/10",
+        "    host threads={} (matrix pins its own), rounds={ROUNDS}, batch=N/10",
         configured_threads()
     );
 
     let mut rows: Vec<String> = Vec::new();
     for &n in object_counts {
+        for &t in thread_counts {
+            let mut base_tput = 0.0f64;
+            for &s in shard_counts {
+                let cell = run_cell(s, t, n, &sim);
+                if s == 1 {
+                    base_tput = cell.throughput();
+                }
+                let speedup = cell.throughput() / base_tput.max(1e-12);
+                println!(
+                    "N={:>7} threads={:<2} shards={:<2} throughput={:>12.0} upd/s  speedup_vs_1={:>6.2}x  ({} updates in {:.3}s)",
+                    n, t, s, cell.throughput(), speedup, cell.updates, cell.seconds
+                );
+                let line = serde_json::json!({
+                    "figure": "scaling",
+                    "mode": "batch",
+                    "series": format!("shards={s}"),
+                    "shards": s as u64,
+                    "n_objects": n as u64,
+                    "threads": cell.threads as u64,
+                    "updates": cell.updates,
+                    "seconds": cell.seconds,
+                    "updates_per_sec": cell.throughput(),
+                    "speedup_vs_1_shard": speedup,
+                });
+                println!("JSON {line}");
+                rows.push(line.to_string());
+            }
+        }
+    }
+
+    // Sustained-ingest series at the widest thread count: one timing
+    // window over a long pre-built stream.
+    let t = *thread_counts.last().expect("non-empty thread grid");
+    for &n in object_counts {
         let mut base_tput = 0.0f64;
         for &s in shard_counts {
-            let cell = run_cell(s, n, &sim);
+            let cell = run_sustained(s, t, n, &sim);
             if s == 1 {
                 base_tput = cell.throughput();
             }
             let speedup = cell.throughput() / base_tput.max(1e-12);
             println!(
-                "N={:>7} shards={:<2} throughput={:>12.0} upd/s  speedup_vs_1={:>6.2}x  ({} updates in {:.3}s)",
-                n, s, cell.throughput(), speedup, cell.updates, cell.seconds
+                "N={:>7} threads={:<2} shards={:<2} sustained ={:>12.0} upd/s  speedup_vs_1={:>6.2}x  ({} updates in {:.3}s)",
+                n, t, s, cell.throughput(), speedup, cell.updates, cell.seconds
             );
             let line = serde_json::json!({
                 "figure": "scaling",
-                "series": format!("shards={s}"),
+                "mode": "sustained",
+                "series": format!("sustained shards={s}"),
                 "shards": s as u64,
                 "n_objects": n as u64,
                 "threads": cell.threads as u64,

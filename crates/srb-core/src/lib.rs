@@ -60,10 +60,12 @@ mod ids;
 mod index;
 mod location;
 mod object;
+mod pipeline;
 mod processor;
 mod provider;
 mod query;
 mod reeval;
+mod ring;
 mod safe_region;
 mod scratch;
 mod server;
@@ -81,8 +83,10 @@ pub use object::{ObjectSlot, ObjectState, ObjectTable};
 pub use processor::QueryProcessor;
 pub use provider::{CostModel, CostTracker, FnProvider, LocationProvider, NoProbe, WorkStats};
 pub use query::{Quarantine, QuerySpec, QueryState, ResultChange};
-pub use server::{RegisterResponse, ResultRemoval, SequencedUpdate, Server, UpdateResponse};
-pub use sharded::{configured_threads, ShardedServer, SyncProvider};
+pub use server::{
+    RegisterResponse, ResponseSink, ResultRemoval, SequencedUpdate, Server, UpdateResponse,
+};
+pub use sharded::{configured_threads, ShardedServer, SyncProvider, TableProvider};
 pub use srb_durable::{CrashPoint, SyncPolicy};
 pub use srb_index::{
     BackendConfig, BackendStats, GridConfig, RStarTree, SpatialBackend, TreeConfig, UniformGrid,

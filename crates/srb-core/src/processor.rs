@@ -170,6 +170,26 @@ impl QueryProcessor {
         }
     }
 
+    /// Chunked-yield variant of [`candidates_into`](Self::candidates_into)
+    /// for streaming consumers: the candidate set is produced in the same
+    /// deduplicated order, handed to `emit` as slices of at most
+    /// `chunk_cap` ids. `scratch` is the caller's reusable staging buffer
+    /// (cleared here), so repeated calls allocate nothing once warm.
+    pub fn candidates_chunked(
+        &self,
+        pos: Point,
+        p_lst: Point,
+        chunk_cap: usize,
+        scratch: &mut Vec<QueryId>,
+        emit: &mut dyn FnMut(&[QueryId]),
+    ) {
+        let chunk_cap = chunk_cap.max(1);
+        self.candidates_into(pos, p_lst, scratch);
+        for chunk in scratch.chunks(chunk_cap) {
+            emit(chunk);
+        }
+    }
+
     /// Evaluates a brand-new query from scratch (§4.1–§4.2), returning its
     /// initial results and quarantine area. Nothing is registered yet.
     pub(crate) fn evaluate_new<B: srb_index::SpatialBackend>(

@@ -60,6 +60,11 @@ pub struct UpdateResponse {
     pub changes: Vec<ResultChange>,
 }
 
+/// Receiver of response chunks from
+/// [`Server::handle_sequenced_updates_chunked`]: called once per chunk
+/// with a `&mut Vec` the sink may drain or swap against its own buffer.
+pub type ResponseSink<'a> = dyn FnMut(&mut Vec<(ObjectId, UpdateResponse)>) + 'a;
+
 /// A source-initiated location update stamped with the client's sequence
 /// number. Over a lossy channel the same report can arrive duplicated or
 /// reordered; the server accepts each sequence number at most once
@@ -615,6 +620,35 @@ impl<B: SpatialBackend> Server<B> {
             }
         }
         self.scratch.put_seq(seq);
+    }
+
+    /// Chunked-yield variant of
+    /// [`handle_sequenced_updates_into`](Self::handle_sequenced_updates_into)
+    /// for the streaming coordinator merge: the batch is processed whole
+    /// (identical probe pattern, identical responses), then the responses
+    /// are handed to `emit` in chunks of at most `chunk_cap` entries, in
+    /// order. `emit` receives each chunk as a `&mut Vec` it may drain or
+    /// swap with its own buffer; the vectors recirculate through the
+    /// server's scratch arena, so the steady-state path stays
+    /// allocation-free.
+    pub fn handle_sequenced_updates_chunked(
+        &mut self,
+        updates: &[SequencedUpdate],
+        provider: &mut dyn LocationProvider,
+        now: f64,
+        chunk_cap: usize,
+        emit: &mut ResponseSink<'_>,
+    ) {
+        let chunk_cap = chunk_cap.max(1);
+        let mut resp = self.scratch.take_resp();
+        self.handle_sequenced_updates_into(updates, provider, now, &mut resp.stage);
+        while !resp.stage.is_empty() {
+            let take = resp.stage.len().min(chunk_cap);
+            resp.chunk.clear();
+            resp.chunk.extend(resp.stage.drain(..take));
+            emit(&mut resp.chunk);
+        }
+        self.scratch.put_resp(resp);
     }
 
     /// Shared batch body: every position installed first, then each affected

@@ -13,9 +13,12 @@
 //!   per-shard top-k lists, so the coordinator only ranks that candidate
 //!   union.
 //!
-//! Batch location updates fan out to the shards — via [`rayon::join`] on the
+//! Batch location updates fan out to the shards. The
 //! [`handle_sequenced_updates_parallel`](ShardedServer::handle_sequenced_updates_parallel)
-//! path — and responses are merged deterministically: response entries
+//! path runs them through the pipelined front-end (see [`crate::pipeline`]):
+//! persistent shard workers fed over bounded per-shard rings, with the
+//! coordinator merging response chunks as they stream back. Responses are
+//! merged deterministically regardless of arrival order: response entries
 //! sorted by [`ObjectId`], coordinator result changes sorted by [`QueryId`].
 //! With one shard the engine is a pure pass-through and bit-identical to a
 //! plain [`Server`].
@@ -39,6 +42,7 @@
 use crate::config::{DurabilityConfig, ServerConfig};
 use crate::error::{RecoveryError, ServerError};
 use crate::ids::{ObjectId, QueryId};
+use crate::pipeline::{JobKind, PipelineState, ResultKind};
 use crate::provider::{CostTracker, LocationProvider, WorkStats};
 use crate::query::{QuerySpec, ResultChange};
 use crate::server::{RegisterResponse, ResultRemoval, SequencedUpdate, Server, UpdateResponse};
@@ -47,9 +51,15 @@ use srb_durable::codec::{put_u32, put_u64, put_u8, put_usize};
 use srb_geom::{Point, Rect};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
+use std::time::Duration;
 
 /// Interval-separation slack for cross-shard kNN ranking.
 const EPS: f64 = 1e-9;
+
+/// How long the streaming merge parks when every result ring is empty
+/// (the workers' wakeup signal is the primary trigger; the timeout is
+/// lost-wakeup insurance).
+const MERGE_PARK: Duration = Duration::from_micros(50);
 
 /// A thread-safe location provider for the parallel fan-out path: probes
 /// take `&self` so shards running on different threads can share one
@@ -58,11 +68,37 @@ const EPS: f64 = 1e-9;
 pub trait SyncProvider: Sync {
     /// Returns the exact current location of `id`.
     fn probe(&self, id: ObjectId) -> Point;
+
+    /// A dense position table (index = object id) covering every object
+    /// this batch may probe, if the provider can expose one. The
+    /// pipelined front-end copies it into each shard job so workers
+    /// answer probes locally instead of round-tripping to the
+    /// coordinator; ids beyond the table's length still fall back to the
+    /// RPC path. Entries must agree with [`SyncProvider::probe`].
+    fn snapshot(&self) -> Option<&[Point]> {
+        None
+    }
 }
 
 impl<F: Fn(ObjectId) -> Point + Sync> SyncProvider for F {
     fn probe(&self, id: ObjectId) -> Point {
         self(id)
+    }
+}
+
+/// A [`SyncProvider`] backed by a dense position table, the common shape
+/// in benches and tests: probing is an array read, and the table doubles
+/// as the [`snapshot`](SyncProvider::snapshot) the pipelined workers use
+/// to answer probes without a coordinator round trip.
+pub struct TableProvider<'a>(pub &'a [Point]);
+
+impl SyncProvider for TableProvider<'_> {
+    fn probe(&self, id: ObjectId) -> Point {
+        self.0[id.index()]
+    }
+
+    fn snapshot(&self) -> Option<&[Point]> {
+        Some(self.0)
     }
 }
 
@@ -98,12 +134,12 @@ pub fn configured_threads() -> usize {
     resolved
 }
 
-/// Coordinator-owned scratch buffers, cleared and reused every batch so the
-/// steady-state sequential batch path allocates nothing at the coordinator
-/// level either (the per-shard arenas live inside each [`Server`]). Buffer
-/// groups are taken by value and returned, mirroring `BatchScratch`.
-#[derive(Default)]
-struct CoordScratch {
+/// Coordinator-owned scratch buffers, cleared and reused every batch so a
+/// steady-state batch — sequential or pipelined — allocates nothing at the
+/// coordinator level either (the per-shard arenas live inside each
+/// [`Server`]). Buffer groups are taken by value and returned, mirroring
+/// `BatchScratch`.
+struct CoordScratch<B: srb_index::SpatialBackend> {
     /// Per-shard update partitions (outer Vec sized to the shard count once).
     batches: Vec<Vec<SequencedUpdate>>,
     /// Per-shard batch durations of the current fan-out.
@@ -111,6 +147,35 @@ struct CoordScratch {
     /// Objects moved or probed in the current batch, sorted + deduped before
     /// the membership scan.
     moved: Vec<ObjectId>,
+    /// Per-shard probe transcripts of a pipelined batch, recorded on the
+    /// workers (in probe order) only under a WAL and spliced onto the
+    /// marker record in shard order.
+    transcripts: Vec<Vec<(ObjectId, Point)>>,
+    /// Per-shard copies of the provider's position snapshot, lent to the
+    /// workers so they answer probes locally instead of via ring RPC.
+    tables: Vec<Vec<Point>>,
+    /// Per-shard "job still in flight" flags of the pipelined drain.
+    pending: Vec<bool>,
+    /// Landing buffer swapped against result-ring chunk slots.
+    chunk: Vec<(ObjectId, UpdateResponse)>,
+    /// Parking slots for the shard servers while a pipelined batch has
+    /// them checked out (idle shards never leave this vector).
+    returned: Vec<Option<Server<B>>>,
+}
+
+impl<B: srb_index::SpatialBackend> Default for CoordScratch<B> {
+    fn default() -> Self {
+        CoordScratch {
+            batches: Vec::new(),
+            durations: Vec::new(),
+            moved: Vec::new(),
+            transcripts: Vec::new(),
+            tables: Vec::new(),
+            pending: Vec::new(),
+            chunk: Vec::new(),
+            returned: Vec::new(),
+        }
+    }
 }
 
 /// A server of servers: `N` shard-local [`Server`] stacks behind one
@@ -137,11 +202,16 @@ pub struct ShardedServer<B: srb_index::SpatialBackend = srb_index::RStarTree> {
     /// registry lock.
     shard_batch_ns: Vec<&'static srb_obs::Histogram>,
     /// Reused coordinator batch buffers (see [`CoordScratch`]).
-    scratch: CoordScratch,
+    scratch: CoordScratch<B>,
     /// The coordinator-owned write-ahead log, when durability is on. Log 0
     /// is the arbiter log (one marker per operation); logs `1..=N` hold the
     /// per-shard batch partitions. Shards never own a store of their own.
     wal: Option<Box<Wal>>,
+    /// The standing pipelined front-end (rings + persistent workers),
+    /// built lazily on the first pipelined batch and rebuilt only when
+    /// the requested worker count changes. Carries no engine state: at
+    /// rest every shard server is checked back into `shards`.
+    pipeline: Option<PipelineState<B>>,
 }
 
 impl ShardedServer {
@@ -182,6 +252,7 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
                 .collect(),
             scratch: CoordScratch::default(),
             wal: None,
+            pipeline: None,
             config,
         };
         if server.config.durability.enabled() {
@@ -640,10 +711,14 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
 
     /// The parallel twin of
     /// [`handle_sequenced_updates`](Self::handle_sequenced_updates): shard
-    /// batches run concurrently via recursive [`rayon::join`] over disjoint
-    /// shard slices, sharing one [`SyncProvider`]. The coordinator merge
-    /// then runs sequentially, so the output is identical to the sequential
-    /// path regardless of thread count.
+    /// partitions run on the persistent worker pool of the pipelined
+    /// front-end (see [`crate::pipeline`]), sharing one [`SyncProvider`].
+    /// The coordinator streams the per-shard response chunks into the
+    /// merge as they complete, so the output is identical to the
+    /// sequential path regardless of thread count or arrival order. With
+    /// a WAL attached the workers append their partition records to the
+    /// shard logs they are lent; the marker stays coordinator-written and
+    /// last, so the durability contract is unchanged.
     pub fn handle_sequenced_updates_parallel<P: SyncProvider>(
         &mut self,
         updates: &[SequencedUpdate],
@@ -651,57 +726,293 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         now: f64,
     ) -> Vec<(ObjectId, UpdateResponse)>
     where
-        B: Send,
+        B: Send + 'static,
     {
-        // Durability serializes the batch: the probe transcript must be one
-        // deterministic stream, so with a WAL attached the parallel fan-out
-        // falls back to the (output-identical) sequential path.
-        if self.wal.is_some() {
+        let mut out = Vec::new();
+        self.handle_sequenced_updates_parallel_into(updates, provider, now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`handle_sequenced_updates_parallel`](Self::handle_sequenced_updates_parallel):
+    /// **appends** the batch's responses to `out`. With a caller-reused
+    /// `out`, a steady-state pipelined batch allocates nothing — ring
+    /// slots, partitions, and response chunks all recirculate warmed
+    /// buffers between the coordinator and the workers.
+    pub fn handle_sequenced_updates_parallel_into<P: SyncProvider>(
+        &mut self,
+        updates: &[SequencedUpdate],
+        provider: &P,
+        now: f64,
+        out: &mut Vec<(ObjectId, UpdateResponse)>,
+    ) where
+        B: Send + 'static,
+    {
+        // One shard or one thread pipelines nothing; a poisoned WAL
+        // refuses log checkouts. All three take the (output-identical)
+        // sequential path, which also owns the WAL hook for them.
+        if self.shards.len() == 1 || self.threads() <= 1 || self.wal_poisoned() {
             let mut adapter = SyncAdapter(provider);
-            return self.handle_sequenced_updates(updates, &mut adapter, now);
+            self.handle_sequenced_updates_into(updates, &mut adapter, now, out);
+            return;
         }
-        if self.shards.len() == 1 {
-            let mut adapter = SyncAdapter(provider);
-            return self.shards[0].handle_sequenced_updates(updates, &mut adapter, now);
-        }
-        let batches = self.partition(updates);
-        let mut durations: Vec<u64> = Vec::new();
-        let shard_responses: Vec<Vec<(ObjectId, UpdateResponse)>> = {
-            let _span = srb_obs::span!("sharded.fan_out");
-            let timed = if self.threads() <= 1 {
-                self.shards
-                    .iter_mut()
-                    .zip(&batches)
-                    .map(|(shard, batch)| {
-                        let watch = srb_obs::Stopwatch::start();
-                        let mut adapter = SyncAdapter(provider);
-                        let resp = shard.handle_sequenced_updates(batch, &mut adapter, now);
-                        let ns = if batch.is_empty() { None } else { watch.elapsed_ns() };
-                        (resp, ns)
-                    })
-                    .collect()
-            } else {
-                fan_out(&mut self.shards, &batches, provider, now)
-            };
-            timed
-                .into_iter()
-                .enumerate()
-                .map(|(i, (resp, ns))| {
-                    if let Some(ns) = ns {
-                        self.shard_batch_ns[i].record(ns);
-                        durations.push(ns);
-                    }
-                    resp
-                })
-                .collect()
+        self.pipelined_batch(updates, provider, now, out);
+    }
+
+    /// Builds (or rebuilds) the standing pipeline for `workers` threads.
+    fn ensure_pipeline(&mut self, workers: usize)
+    where
+        B: Send + 'static,
+    {
+        let want = workers.min(self.shards.len()).max(1);
+        let stale = match &self.pipeline {
+            Some(p) => p.workers != want || p.cells.len() != self.shards.len(),
+            None => true,
         };
-        self.scratch.batches = batches;
+        if stale {
+            self.pipeline = Some(PipelineState::new(self.shards.len(), workers));
+        }
+    }
+
+    /// One batch through the pipelined front-end: submit every non-empty
+    /// partition (moving the shard server, its partition buffer, and —
+    /// under a WAL — its partition log into the job slot), then drain the
+    /// result rings, answering probe RPCs and merging response chunks as
+    /// they stream back. See the module docs of [`crate::pipeline`] for
+    /// the determinism argument.
+    fn pipelined_batch<P: SyncProvider>(
+        &mut self,
+        updates: &[SequencedUpdate],
+        provider: &P,
+        now: f64,
+        out: &mut Vec<(ObjectId, UpdateResponse)>,
+    ) where
+        B: Send + 'static,
+    {
+        let _span = srb_obs::span!("sharded.pipeline");
+        let n = self.shards.len();
+        let workers = self.threads();
+        self.ensure_pipeline(workers);
+
+        // The WAL (when attached) is held for the whole batch: shard logs
+        // are lent to the workers at submission and returned with each
+        // `Done`; the marker is written only after the full drain.
+        let mut wal = self.wal.take();
+        let mut batches = self.partition(updates);
+        // Marker counts cover every shard, zeros included (replay skips
+        // zero-count shards), so they are derived before submission.
+        let counts: Option<Vec<u32>> =
+            wal.as_ref().map(|_| batches.iter().map(|b| b.len() as u32).collect());
+
+        let mut durations = std::mem::take(&mut self.scratch.durations);
+        durations.clear();
+        let mut transcripts = std::mem::take(&mut self.scratch.transcripts);
+        transcripts.resize_with(n, Vec::new);
+        transcripts.truncate(n);
+        for t in &mut transcripts {
+            t.clear();
+        }
+        let mut tables = std::mem::take(&mut self.scratch.tables);
+        tables.resize_with(n, Vec::new);
+        tables.truncate(n);
+        // When the provider exposes a dense snapshot each worker gets a
+        // private copy and answers its probes locally; otherwise the
+        // tables stay empty and every probe takes the ring RPC.
+        let snap = provider.snapshot();
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        pending.clear();
+        pending.resize(n, false);
+        let mut chunk = std::mem::take(&mut self.scratch.chunk);
+        let mut returned = std::mem::take(&mut self.scratch.returned);
+        returned.clear();
+
+        // Check every shard server out of the coordinator; busy shards go
+        // to their workers, idle ones stay parked in `returned`.
+        let mut servers = std::mem::take(&mut self.shards);
+        returned.extend(servers.drain(..).map(Some));
+
+        let pipeline = self.pipeline.take().expect("pipeline built above");
+        let start = out.len();
+        let mut remaining = 0usize;
+        for (i, batch) in batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut server = returned[i].take();
+            let mut log = wal.as_mut().and_then(|w| w.take_shard_log(i));
+            let cell = &pipeline.cells[i];
+            tables[i].clear();
+            if let Some(s) = snap {
+                tables[i].extend_from_slice(s);
+            }
+            let pushed = cell.jobs.try_push(|slot| {
+                slot.kind = JobKind::Batch;
+                slot.server = server.take();
+                std::mem::swap(&mut slot.updates, batch);
+                slot.now = now;
+                slot.log = log.take();
+                std::mem::swap(&mut slot.table, &mut tables[i]);
+                std::mem::swap(&mut slot.probe_log, &mut transcripts[i]);
+            });
+            assert!(pushed, "job ring holds stale entries between batches");
+            cell.unpark_worker();
+            pending[i] = true;
+            remaining += 1;
+        }
+        srb_obs::gauge!("sharded.pipeline_queue_depth").set(remaining as u64);
+
+        // Streaming merge: consume each shard's results as they arrive.
+        // Entries land in arrival order; the stable sort in
+        // `finish_batch_in` restores the deterministic global order.
+        let mut wait_ns = 0u64;
+        let mut worker_panic: Option<String> = None;
+        while remaining > 0 {
+            let mut progress = false;
+            for i in 0..n {
+                if !pending[i] {
+                    continue;
+                }
+                let cell = &pipeline.cells[i];
+                loop {
+                    let mut probe_req: Option<ObjectId> = None;
+                    let mut got_chunk = false;
+                    let mut done = None;
+                    let popped = cell.results.try_pop(|slot| match slot.kind {
+                        ResultKind::Probe => {
+                            slot.kind = ResultKind::Idle;
+                            probe_req = Some(slot.probe);
+                        }
+                        ResultKind::Chunk => {
+                            slot.kind = ResultKind::Idle;
+                            std::mem::swap(&mut chunk, &mut slot.entries);
+                            got_chunk = true;
+                        }
+                        ResultKind::Done => {
+                            slot.kind = ResultKind::Idle;
+                            std::mem::swap(&mut batches[i], &mut slot.updates);
+                            // The worker hands back the position table and
+                            // its probe transcript (recorded in probe
+                            // order) with the final result.
+                            std::mem::swap(&mut tables[i], &mut slot.table);
+                            std::mem::swap(&mut transcripts[i], &mut slot.probe_log);
+                            done = Some((
+                                slot.server.take(),
+                                slot.log.take(),
+                                std::mem::replace(&mut slot.log_err, false),
+                                slot.duration_ns.take(),
+                                slot.panic.take(),
+                            ));
+                        }
+                        ResultKind::Idle => debug_assert!(false, "popped an idle result slot"),
+                    });
+                    if !popped {
+                        break;
+                    }
+                    progress = true;
+                    if let Some(oid) = probe_req {
+                        // The worker records the answer into its own
+                        // transcript, so the coordinator only relays it.
+                        let pos = provider.probe(oid);
+                        let answered = cell.jobs.try_push(|slot| {
+                            slot.kind = JobKind::ProbeAnswer;
+                            slot.answer = pos;
+                        });
+                        assert!(answered, "probe-answer slot unavailable");
+                        cell.unpark_worker();
+                    }
+                    if got_chunk {
+                        out.append(&mut chunk);
+                    }
+                    if let Some((server, log, log_err, dur, panicked)) = done {
+                        returned[i] = Some(server.expect("Done returns the shard server"));
+                        if let Some(w) = wal.as_mut() {
+                            if let Some(l) = log {
+                                w.put_shard_log(i, l);
+                            }
+                            if log_err {
+                                w.poison();
+                            }
+                        }
+                        if let Some(ns) = dur {
+                            self.shard_batch_ns[i].record(ns);
+                            srb_obs::histogram!("sharded.worker_busy_ns").record(ns);
+                            durations.push(ns);
+                        }
+                        if worker_panic.is_none() {
+                            worker_panic = panicked;
+                        }
+                        pending[i] = false;
+                        remaining -= 1;
+                        srb_obs::gauge!("sharded.pipeline_queue_depth").set(remaining as u64);
+                        break;
+                    }
+                }
+            }
+            if !progress && remaining > 0 {
+                // Register before re-checking so a notify between the
+                // check and the park is never lost; the timeout is only
+                // insurance on top of that.
+                pipeline.signal.register();
+                let ready = (0..n).any(|i| pending[i] && pipeline.cells[i].results.len() > 0);
+                if !ready {
+                    let watch = srb_obs::Stopwatch::start();
+                    std::thread::park_timeout(MERGE_PARK);
+                    if let Some(ns) = watch.elapsed_ns() {
+                        wait_ns += ns;
+                    }
+                }
+                pipeline.signal.clear();
+            }
+        }
+        srb_obs::histogram!("sharded.merge_wait_ns").record(wait_ns);
+
+        // Every server is home; restore the coordinator's state before
+        // the merge (which walks the shards) or any panic propagation.
+        servers.extend(returned.iter_mut().map(|s| s.take().expect("all shards returned")));
+        self.shards = servers;
+        self.pipeline = Some(pipeline);
         record_straggler_gap(&durations);
-        let mut responses: Vec<(ObjectId, UpdateResponse)> =
-            shard_responses.into_iter().flatten().collect();
-        let mut adapter = SyncAdapter(provider);
-        self.finish_batch_in(&mut responses, 0, &mut adapter, now);
-        responses
+        self.scratch.durations = durations;
+        self.scratch.pending = pending;
+        self.scratch.chunk = chunk;
+        self.scratch.returned = returned;
+        self.scratch.batches = batches;
+        self.scratch.transcripts = transcripts;
+        self.scratch.tables = tables;
+
+        if let Some(msg) = worker_panic {
+            // The panicking shard may hold partial batch state. Nothing
+            // was committed (no marker references the partitions), and
+            // poisoning refuses further writes against divergent memory.
+            if let Some(w) = wal.as_mut() {
+                w.poison();
+            }
+            self.wal = wal;
+            panic!("shard worker panicked: {msg}");
+        }
+
+        if let Some(mut w) = wal {
+            // Replay runs each shard's partition to completion in shard
+            // order, then the coordinator merge — exactly the
+            // concatenation of the per-shard transcripts plus the
+            // merge-time probes the recorder captures below.
+            let mut transcripts = std::mem::take(&mut self.scratch.transcripts);
+            for t in &mut transcripts {
+                w.extend_probes(t);
+            }
+            self.scratch.transcripts = transcripts;
+            {
+                let mut adapter = SyncAdapter(provider);
+                let mut rp = w.recorder(&mut adapter);
+                self.finish_batch_in(out, start, &mut rp, now);
+            }
+            w.log_batch_marker(now, &counts.expect("counts derived with the wal"));
+            self.wal = Some(w);
+            self.wal_post_op();
+        } else {
+            let mut adapter = SyncAdapter(provider);
+            self.finish_batch_in(out, start, &mut adapter, now);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1009,6 +1320,7 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
                 .collect(),
             scratch: CoordScratch::default(),
             wal: None,
+            pipeline: None,
             config: *config,
         })
     }
@@ -1480,42 +1792,6 @@ fn check_replay(rp: &ReplayProvider<'_>) -> Result<(), RecoveryError> {
     }
 }
 
-/// One shard's batch outcome: its responses plus its wall-clock batch
-/// duration (`None` for empty batches or when telemetry is off).
-type ShardBatchResult = (Vec<(ObjectId, UpdateResponse)>, Option<u64>);
-
-/// Runs each shard's batch on its own rayon task via recursive binary
-/// splitting of the (disjoint) shard slice. Each shard's wall-clock batch
-/// duration rides along with its responses.
-fn fan_out<B: srb_index::SpatialBackend + Send, P: SyncProvider>(
-    shards: &mut [Server<B>],
-    batches: &[Vec<SequencedUpdate>],
-    provider: &P,
-    now: f64,
-) -> Vec<ShardBatchResult> {
-    match shards.len() {
-        0 => Vec::new(),
-        1 => {
-            let watch = srb_obs::Stopwatch::start();
-            let mut adapter = SyncAdapter(provider);
-            let resp = shards[0].handle_sequenced_updates(&batches[0], &mut adapter, now);
-            let ns = if batches[0].is_empty() { None } else { watch.elapsed_ns() };
-            vec![(resp, ns)]
-        }
-        n => {
-            let mid = n / 2;
-            let (left_shards, right_shards) = shards.split_at_mut(mid);
-            let (left_batches, right_batches) = batches.split_at(mid);
-            let (mut left, right) = rayon::join(
-                || fan_out(left_shards, left_batches, provider, now),
-                || fan_out(right_shards, right_batches, provider, now),
-            );
-            left.extend(right);
-            left
-        }
-    }
-}
-
 /// Records the gap between the slowest and fastest shard of one batch —
 /// the load-imbalance signal of the fan-out.
 fn record_straggler_gap(durations: &[u64]) {
@@ -1876,7 +2152,8 @@ mod tests {
             .map(|(i, &p)| SequencedUpdate { id: ObjectId(i as u32), pos: p, seq: 1 })
             .collect();
         let sync = |id: ObjectId| snapshot[id.index()];
-        // Must fall back to the sequential path and log the batch.
+        // The pipelined path logs on the worker threads; the resulting
+        // log must replay exactly like a sequentially-logged batch.
         sharded.handle_sequenced_updates_parallel(&batch, &sync, 0.5);
         sharded.sync_wal();
         let digest = sharded.state_digest();

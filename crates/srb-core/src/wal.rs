@@ -331,6 +331,20 @@ pub(crate) fn decode_record(payload: &[u8]) -> Result<Record, DurableError> {
     Ok(rec)
 }
 
+/// Encodes a shard-log partition of sequenced updates into `buf`
+/// (append-only; callers clear). Shared by the coordinator's sequential
+/// logged path and the pipeline workers, which encode on their own
+/// thread into a thread-local buffer.
+pub(crate) fn encode_part_seq(buf: &mut Vec<u8>, updates: &[SequencedUpdate]) {
+    put_u8(buf, OP_PART_SEQ);
+    put_usize(buf, updates.len());
+    for u in updates {
+        put_u32(buf, u.id.0);
+        put_point(buf, u.pos);
+        put_u64(buf, u.seq);
+    }
+}
+
 /// Decodes a shard-log partition of sequenced updates.
 pub(crate) fn decode_part_seq(payload: &[u8]) -> Result<Vec<SequencedUpdate>, DurableError> {
     let mut dec = Dec::new(payload);
@@ -581,14 +595,34 @@ impl Wal {
     /// `shard` (0-based shard id → log index `shard + 1`).
     pub(crate) fn append_part_seq(&mut self, shard: usize, updates: &[SequencedUpdate]) {
         self.buf.clear();
-        put_u8(&mut self.buf, OP_PART_SEQ);
-        put_usize(&mut self.buf, updates.len());
-        for u in updates {
-            put_u32(&mut self.buf, u.id.0);
-            put_point(&mut self.buf, u.pos);
-            put_u64(&mut self.buf, u.seq);
-        }
+        encode_part_seq(&mut self.buf, updates);
         let _ = self.store.append(shard + 1, &self.buf);
+    }
+
+    /// Lends shard `shard`'s partition log to a pipeline worker so the
+    /// partition record can be appended on the worker thread. Returns
+    /// `None` when the log is already checked out or the store is
+    /// poisoned (callers fall back to the sequential logged path).
+    pub(crate) fn take_shard_log(&mut self, shard: usize) -> Option<srb_durable::log::LogWriter> {
+        self.store.take_log(shard + 1)
+    }
+
+    /// Returns a lent shard log after the worker's batch completed.
+    pub(crate) fn put_shard_log(&mut self, shard: usize, log: srb_durable::log::LogWriter) {
+        self.store.put_log(shard + 1, log);
+    }
+
+    /// Poisons the store after a worker-side append failure; subsequent
+    /// batches take the sequential fallback and writes are refused.
+    pub(crate) fn poison(&mut self) {
+        self.store.poison();
+    }
+
+    /// Splices a pipeline worker's probe transcript (answered by the
+    /// coordinator, in shard order) onto the pending record's transcript.
+    /// Drains `probes` but keeps its capacity.
+    pub(crate) fn extend_probes(&mut self, probes: &mut Vec<(ObjectId, Point)>) {
+        self.probes.append(probes);
     }
 
     /// Appends one shard's partition of a raw batch.

@@ -49,7 +49,11 @@ fn range_rect(cx: f64, cy: f64, half: f64) -> Rect {
         .unwrap_or(Rect::point(Point::new(cx.clamp(0.0, 1.0), cy.clamp(0.0, 1.0))))
 }
 
-fn drive(n_shards: usize, seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
+/// Drives the churn stream through a plain server and a sharded one.
+/// `pipelined` routes the sharded batches through the persistent-worker
+/// front-end (`handle_sequenced_updates_parallel` with 4 workers) instead
+/// of the sequential path; every oracle below must hold identically.
+fn drive(n_shards: usize, pipelined: bool, seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
     let mut positions: Vec<Point> = (0..N_OBJECTS)
         .map(|i| {
             let (x, y) = seed_pts[i % seed_pts.len()];
@@ -58,7 +62,7 @@ fn drive(n_shards: usize, seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
         .collect();
     let cfg = ServerConfig { grid_m: 10, ..Default::default() };
     let mut plain = Server::new(cfg);
-    let mut sharded = ShardedServer::new(cfg, n_shards);
+    let mut sharded = ShardedServer::new(cfg, n_shards).with_threads(if pipelined { 4 } else { 1 });
     {
         let snapshot = positions.clone();
         let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
@@ -123,7 +127,12 @@ fn drive(n_shards: usize, seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
         let snapshot = positions.clone();
         let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
         plain.handle_sequenced_updates(&batch, &mut provider, now);
-        sharded.handle_sequenced_updates(&batch, &mut provider, now);
+        if pipelined {
+            let sync = |id: ObjectId| snapshot[id.index()];
+            sharded.handle_sequenced_updates_parallel(&batch, &sync, now);
+        } else {
+            sharded.handle_sequenced_updates(&batch, &mut provider, now);
+        }
         plain.check_invariants();
         sharded.check_invariants();
 
@@ -158,7 +167,14 @@ fn drive(n_shards: usize, seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
 /// the generational slot keys survive — the recovered state is
 /// bit-identical, dead queries stay dead across the restart, and live
 /// ones still answer exactly their predicate.
-fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
+///
+/// With `pipelined`, batches run through the persistent-worker front-end
+/// (partition records appended on the worker threads) and a non-durable
+/// *synchronous twin* consumes the identical event stream through the
+/// sequential path; their state digests must agree after every batch —
+/// the pipelined WAL transcript and the drained-queue restart are only
+/// correct if the completed-operation prefix is the synchronous one.
+fn drive_durable(pipelined: bool, seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
     use std::sync::atomic::{AtomicU64, Ordering};
     static N: AtomicU64 = AtomicU64::new(0);
     let dir: &'static str = Box::leak(
@@ -185,12 +201,18 @@ fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
             Point::new((x + i as f64 * 0.013).fract(), (y + i as f64 * 0.029).fract())
         })
         .collect();
-    let mut server = ShardedServer::new(cfg, 2);
+    let mut server = ShardedServer::new(cfg, 2).with_threads(if pipelined { 4 } else { 1 });
+    // The synchronous twin: same shard count, no WAL, sequential batches.
+    let twin_cfg = ServerConfig { durability: DurabilityConfig::default(), ..cfg };
+    let mut twin = pipelined.then(|| ShardedServer::new(twin_cfg, 2));
     {
         let snapshot = positions.clone();
         let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
         for (i, &p) in snapshot.iter().enumerate() {
             server.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+            if let Some(t) = twin.as_mut() {
+                t.add_object(ObjectId(i as u32), p, &mut provider, 0.0).unwrap();
+            }
         }
     }
 
@@ -212,6 +234,9 @@ fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
                     let snapshot = positions.clone();
                     let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
                     let r = server.register_query(QuerySpec::range(rect), &mut provider, now);
+                    if let Some(t) = twin.as_mut() {
+                        t.register_query(QuerySpec::range(rect), &mut provider, now);
+                    }
                     dead.retain(|&d| d != r.id);
                     live.push((r.id, rect));
                 }
@@ -221,6 +246,9 @@ fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
                     }
                     let (qid, _) = live.remove(pick % live.len());
                     assert!(server.deregister_query(qid), "was registered");
+                    if let Some(t) = twin.as_mut() {
+                        assert!(t.deregister_query(qid), "twin in lockstep");
+                    }
                     dead.push(qid);
                 }
                 Ev::Move { obj, dx, dy } => {
@@ -238,7 +266,15 @@ fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
         }
         let snapshot = positions.clone();
         let mut provider = FnProvider(|id: ObjectId| snapshot[id.index()]);
-        server.handle_sequenced_updates(&batch, &mut provider, now);
+        if pipelined {
+            let sync = |id: ObjectId| snapshot[id.index()];
+            server.handle_sequenced_updates_parallel(&batch, &sync, now);
+        } else {
+            server.handle_sequenced_updates(&batch, &mut provider, now);
+        }
+        if let Some(t) = twin.as_mut() {
+            t.handle_sequenced_updates(&batch, &mut provider, now);
+        }
         // Updates may defer probes (the Slack scheme), leaving results
         // provisional until the deferral fires; drain them so the oracle
         // below compares against *exact* results. Time stays monotonic:
@@ -248,6 +284,15 @@ fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
             now = now.max(due);
             server.process_deferred(&mut provider, now);
         }
+        if let Some(t) = twin.as_mut() {
+            // In lockstep the twin's deferrals are the server's, so this
+            // drain never advances `now` further.
+            for _ in 0..16 {
+                let Some(due) = t.next_deferred_due() else { break };
+                now = now.max(due);
+                t.process_deferred(&mut provider, now);
+            }
+        }
 
         if bi == restart_after {
             let before = server.state_digest();
@@ -255,7 +300,9 @@ fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
             drop(server);
             let (recovered, _replayed) =
                 ShardedServer::recover(cfg, 2).expect("recovery of a cleanly synced log");
-            server = recovered;
+            // The restart happens while the worker pool is live; recovery
+            // starts a fresh pool so post-restart batches stay pipelined.
+            server = if pipelined { recovered.with_threads(4) } else { recovered };
             assert_eq!(
                 server.state_digest(),
                 before,
@@ -264,6 +311,16 @@ fn drive_durable(seed_pts: &[(f64, f64)], batches: &[Vec<Ev>]) {
         }
 
         server.check_invariants();
+        if let Some(t) = twin.as_ref() {
+            // Drained-queue equivalence: after every batch (and across the
+            // mid-stream restart) the pipelined server's completed-operation
+            // prefix is exactly the synchronous twin's state.
+            assert_eq!(
+                server.state_digest(),
+                t.state_digest(),
+                "pipelined state diverged from the synchronous twin at t={now}"
+            );
+        }
         // Dead queries stay dead — including across the restart, where a
         // naive slot decoder could resurrect a freed slot's last occupant.
         for &qid in &dead {
@@ -293,7 +350,7 @@ proptest! {
         seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..12),
         batches in prop::collection::vec(prop::collection::vec(arb_event(), 1..8), 1..10),
     ) {
-        drive(n_shards, &seed_pts, &batches);
+        drive(n_shards, false, &seed_pts, &batches);
     }
 
     /// The same churn stream through the single-shard delegation path.
@@ -302,7 +359,24 @@ proptest! {
         seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..12),
         batches in prop::collection::vec(prop::collection::vec(arb_event(), 1..8), 1..10),
     ) {
-        drive(1, &seed_pts, &batches);
+        drive(1, false, &seed_pts, &batches);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Churn through the *pipelined* front-end: persistent shard workers,
+    /// ring submission, streaming merge — under the same oracles. Query
+    /// registration mutates the processors between batches while the worker
+    /// pool stays alive, so this also exercises shard hand-off churn.
+    #[test]
+    fn pipelined_query_churn_never_resurrects_dead_queries(
+        n_shards in 2usize..=6,
+        seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..12),
+        batches in prop::collection::vec(prop::collection::vec(arb_event(), 1..8), 1..10),
+    ) {
+        drive(n_shards, true, &seed_pts, &batches);
     }
 }
 
@@ -317,7 +391,24 @@ proptest! {
         seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..12),
         batches in prop::collection::vec(prop::collection::vec(arb_event(), 1..8), 2..8),
     ) {
-        drive_durable(&seed_pts, &batches);
+        drive_durable(false, &seed_pts, &batches);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Churn + mid-stream restart while the pipelined workers are live:
+    /// partition records are appended on the worker threads, the server is
+    /// dropped cold (draining the queues), and recovery must land on the
+    /// completed-operation prefix — checked after every batch against a
+    /// synchronous twin's digest.
+    #[test]
+    fn pipelined_query_churn_survives_recovery(
+        seed_pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..12),
+        batches in prop::collection::vec(prop::collection::vec(arb_event(), 1..8), 2..8),
+    ) {
+        drive_durable(true, &seed_pts, &batches);
     }
 }
 

@@ -83,6 +83,26 @@ impl LogWriter {
         })
     }
 
+    /// Creates a fresh log at `path` whose header is written but **not**
+    /// fsynced — the checkpoint-install path batches the whole log group
+    /// behind a single directory fsync instead of one data sync per
+    /// file. The header becomes durable at the log's first record sync
+    /// (`sync_data` flushes the whole file); until then a crash may
+    /// leave the file missing or torn, which recovery repairs by
+    /// recreating it empty — exactly its durable content.
+    pub fn create_unsynced(path: &Path, gen: u64, idx: u64) -> Result<LogWriter, DurableError> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.write_all(&log_header(gen, idx))?;
+        Ok(LogWriter {
+            file,
+            path: path.to_path_buf(),
+            pending: Vec::new(),
+            durable: LOG_HEADER as u64,
+            written: LOG_HEADER as u64,
+        })
+    }
+
     /// Reopens an existing log for appending after recovery, treating the
     /// current `len` bytes (already validated and possibly truncated by the
     /// recovery scan) as durable.

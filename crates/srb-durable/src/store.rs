@@ -85,7 +85,10 @@ pub struct Recovered {
 pub struct Store {
     dir: PathBuf,
     gen: u64,
-    logs: Vec<LogWriter>,
+    /// Per-log writers. A slot is `None` only while that log is lent to
+    /// a pipeline worker via [`Store::take_log`]; every commit-protocol
+    /// operation requires the full set to be checked back in.
+    logs: Vec<Option<LogWriter>>,
     policy: SyncPolicy,
     group_ops: u32,
     ops_since_sync: u32,
@@ -206,9 +209,26 @@ fn install_generation(
     if crash::fires(CrashPoint::CkptPostDirSync) {
         return Err(DurableError::Injected(CrashPoint::CkptPostDirSync));
     }
+    // Log creation is batched: every log file is written with its header
+    // left *unsynced*, then one directory fsync covers the whole install
+    // group — instead of a data sync per file. A crash inside the window
+    // can lose any subset of the files or leave torn headers; recovery's
+    // missing-log and bad-log paths rebuild them empty, which matches
+    // their durable content exactly (a fresh log holds no records, and
+    // its header becomes durable at its first record sync).
     let mut logs = Vec::with_capacity(n_logs);
     for idx in 0..n_logs {
-        logs.push(LogWriter::create(&log_path(dir, gen, idx), gen, idx as u64)?);
+        logs.push(LogWriter::create_unsynced(&log_path(dir, gen, idx), gen, idx as u64)?);
+    }
+    if crash::fires(CrashPoint::CkptLogUnsynced) {
+        // Power cut after the group was created but before its dir-sync:
+        // nothing about the new logs is guaranteed — model the worst
+        // case, where every file vanishes.
+        drop(logs);
+        for idx in 0..n_logs {
+            let _ = fs::remove_file(log_path(dir, gen, idx));
+        }
+        return Err(DurableError::Injected(CrashPoint::CkptLogUnsynced));
     }
     crate::atomic::sync_dir(dir);
     if crash::fires(CrashPoint::CkptRotate) {
@@ -246,7 +266,7 @@ impl Store {
         Ok(Store {
             dir: dir.to_path_buf(),
             gen,
-            logs,
+            logs: logs.into_iter().map(Some).collect(),
             policy,
             group_ops: group_ops.max(1),
             ops_since_sync: 0,
@@ -266,11 +286,35 @@ impl Store {
         self.poisoned
     }
 
+    /// Poisons the store explicitly — used when a lent log writer failed
+    /// on a worker thread, where the failure cannot flow through
+    /// [`Store::append`]'s guard.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
     fn guard<T>(&mut self, r: Result<T, DurableError>) -> Result<T, DurableError> {
         if r.is_err() {
             self.poisoned = true;
         }
         r
+    }
+
+    /// Lends log `idx`'s writer out (to a pipeline worker thread).
+    /// Returns `None` when the store is poisoned or the log is already
+    /// checked out. The commit protocol requires every log back before
+    /// the next [`Store::commit`]/[`Store::checkpoint`].
+    pub fn take_log(&mut self, idx: usize) -> Option<LogWriter> {
+        if self.poisoned {
+            return None;
+        }
+        self.logs[idx].take()
+    }
+
+    /// Returns a writer previously lent with [`Store::take_log`].
+    pub fn put_log(&mut self, idx: usize, log: LogWriter) {
+        debug_assert!(self.logs[idx].is_none(), "log {idx} returned while checked in");
+        self.logs[idx] = Some(log);
     }
 
     /// Appends `payload` as one record to log `idx` (group-commit
@@ -279,7 +323,7 @@ impl Store {
         if self.poisoned {
             return Err(DurableError::Poisoned);
         }
-        let r = self.logs[idx].append(payload);
+        let r = self.logs[idx].as_mut().expect("log checked out during append").append(payload);
         self.guard(r)
     }
 
@@ -311,7 +355,7 @@ impl Store {
         }
         self.ops_since_sync = 0;
         for idx in (1..self.logs.len()).chain([0]) {
-            let r = self.logs[idx].sync();
+            let r = self.logs[idx].as_mut().expect("log checked out during commit").sync();
             self.guard(r)?;
         }
         Ok(())
@@ -329,7 +373,7 @@ impl Store {
         let n_logs = self.logs.len();
         let r = install_generation(&self.dir, new_gen, payload, n_logs);
         let logs = self.guard(r)?;
-        self.logs = logs;
+        self.logs = logs.into_iter().map(Some).collect();
         self.gen = new_gen;
         // Keep generation `new_gen - 1` as the fallback root; everything
         // older is unreachable and can go.
@@ -480,7 +524,7 @@ impl Store {
             store: Store {
                 dir: dir.to_path_buf(),
                 gen: active,
-                logs: writers,
+                logs: writers.into_iter().map(Some).collect(),
                 policy,
                 group_ops: group_ops.max(1),
                 ops_since_sync: 0,
@@ -624,6 +668,7 @@ mod tests {
             CrashPoint::CkptPostSync,
             CrashPoint::CkptPostRename,
             CrashPoint::CkptPostDirSync,
+            CrashPoint::CkptLogUnsynced,
             CrashPoint::CkptRotate,
             CrashPoint::CkptPrune,
         ] {
@@ -660,6 +705,31 @@ mod tests {
             }
             fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn lent_log_appends_survive_return_and_commit() {
+        let dir = scratch();
+        let mut s = Store::create(&dir, 2, SyncPolicy::Always, 1, b"root").unwrap();
+        let mut log = s.take_log(1).expect("log available");
+        assert!(s.take_log(1).is_none(), "double checkout refused");
+        log.append(b"from-worker").unwrap();
+        s.put_log(1, log);
+        s.commit().unwrap();
+        drop(s);
+        let r = Store::recover(&dir, 2, SyncPolicy::Always, 1).unwrap();
+        assert_eq!(all_records(&r), vec![b"from-worker".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_store_refuses_log_checkout() {
+        let dir = scratch();
+        let mut s = Store::create(&dir, 1, SyncPolicy::Always, 1, b"root").unwrap();
+        s.poison();
+        assert!(s.take_log(0).is_none());
+        assert!(matches!(s.append(0, b"x"), Err(DurableError::Poisoned)));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

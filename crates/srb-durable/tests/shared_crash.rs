@@ -1,0 +1,42 @@
+//! The shared (cross-thread) crash-arming plan, exercised in its own
+//! test binary: the plan is process-global, so it must not run
+//! concurrently with unrelated durability tests that cross the same
+//! boundaries (they would steal the countdown).
+
+use srb_durable::crash::{self, CrashPoint};
+use srb_durable::log::LogWriter;
+use srb_durable::DurableError;
+use std::sync::Mutex;
+
+/// Tests in this file share the one process-global plan; serialize them.
+static PLAN: Mutex<()> = Mutex::new(());
+
+#[test]
+fn shared_plan_fires_on_whichever_thread_reaches_the_boundary() {
+    let _guard = PLAN.lock().unwrap();
+    crash::arm_shared(CrashPoint::LogAppend, 1);
+    assert!(!crash::fires(CrashPoint::LogWrite), "other points never fire");
+    assert!(!crash::fires(CrashPoint::LogAppend), "countdown: first visit survives");
+    let hit = std::thread::spawn(|| crash::fires(CrashPoint::LogAppend)).join().unwrap();
+    assert!(hit, "second visit fires, even on another thread");
+    assert!(crash::fired_shared());
+    assert!(!crash::fires(CrashPoint::LogAppend), "one-shot");
+    crash::disarm();
+    assert!(!crash::fires(CrashPoint::LogAppend));
+}
+
+#[test]
+fn shared_plan_reaches_a_log_append_on_a_worker_thread() {
+    let _guard = PLAN.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("srb-shared-crash-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("log-1-0");
+    let mut log = LogWriter::create(&path, 1, 0).unwrap();
+
+    crash::arm_shared(CrashPoint::LogAppend, 0);
+    let err = std::thread::spawn(move || log.append(b"worker append").unwrap_err()).join().unwrap();
+    crash::disarm();
+    assert!(matches!(err, DurableError::Injected(CrashPoint::LogAppend)));
+    assert!(crash::fired_shared());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

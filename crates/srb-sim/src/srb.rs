@@ -12,10 +12,11 @@ use crate::truth::evaluate_truth;
 use crate::workload::generate_workload;
 use srb_core::{
     BackendConfig, LocationProvider, ObjectId, QueryId, QuerySpec, RStarTree, SequencedUpdate,
-    ServerConfig, ShardedServer, SpatialBackend, UniformGrid,
+    ServerConfig, ShardedServer, SpatialBackend, SyncProvider, UniformGrid,
 };
 use srb_geom::{Point, Rect};
 use srb_mobility::{MobileClient, Trajectory};
+use std::sync::Mutex;
 use std::time::Instant;
 
 enum Ev {
@@ -53,6 +54,23 @@ impl LocationProvider for Provider<'_> {
     }
 }
 
+/// [`Provider`] for the pipelined batch path, which takes a shared
+/// [`SyncProvider`]. Probes are answered on the coordinator thread (the
+/// merge loop relays worker probe requests), so the mutex is uncontended;
+/// it exists only to satisfy the `Sync` bound with `&mut` clients inside.
+struct SharedProvider<'a> {
+    clients: Mutex<(&'a mut [MobileClient], Vec<u32>)>,
+    now: f64,
+}
+
+impl SyncProvider for SharedProvider<'_> {
+    fn probe(&self, id: ObjectId) -> Point {
+        let mut g = self.clients.lock().expect("provider lock");
+        g.1.push(id.0);
+        g.0[id.index()].position(self.now)
+    }
+}
+
 /// Runs the SRB scheme and returns the aggregated metrics. With
 /// `cfg.shards == 1` (the default) the server is a single Figure-3.1 stack,
 /// bit-identical to the paper's setup; larger values run the sharded engine.
@@ -67,7 +85,7 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
 
 /// The monomorphic body of [`run_srb`]: runs the SRB scheme on the spatial
 /// backend `B`, which must match the variant of `cfg.backend`.
-pub fn run_srb_with<B: SpatialBackend + Send>(cfg: &SimConfig) -> RunMetrics {
+pub fn run_srb_with<B: SpatialBackend + Send + 'static>(cfg: &SimConfig) -> RunMetrics {
     let mob = mobility(cfg);
     let server_cfg = ServerConfig {
         space: cfg.space,
@@ -196,7 +214,22 @@ pub fn run_srb_with<B: SpatialBackend + Send>(cfg: &SimConfig) -> RunMetrics {
                 srb_obs::counter!("sim.batches").inc();
                 srb_obs::histogram!("sim.batch_size").record(batch.len() as u64);
                 let t0 = Instant::now();
-                let resps = {
+                // Sharded runs go through the pipelined front-end (persistent
+                // shard workers, streaming merge); the single stack keeps the
+                // paper's sequential path, bit-identical to the goldens.
+                let resps = if cfg.shards > 1 {
+                    let provider = SharedProvider {
+                        clients: Mutex::new((&mut clients[..], Vec::new())),
+                        now: batch_t,
+                    };
+                    let resps =
+                        server.handle_sequenced_updates_parallel(&batch, &provider, batch_t);
+                    let (cl, probed) = provider.clients.into_inner().expect("provider lock");
+                    for &p in &probed {
+                        cl[p as usize].mark_pending();
+                    }
+                    resps
+                } else {
                     let mut provider =
                         Provider { clients: &mut clients, now: batch_t, probed: Vec::new() };
                     let resps = server.handle_sequenced_updates(&batch, &mut provider, batch_t);

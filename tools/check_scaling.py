@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scaling regression gate over BENCH_scaling.json.
+
+Fails (exit 1) if shards=4 ever scales *worse* than shards=2 — for every
+gated (mode, n_objects, threads) group, the shards=4
+speedup_vs_1_shard must reach at least the shards=2 speedup minus a
+small noise tolerance.
+
+Which bench points are gated (DESIGN.md §15, "Reading
+BENCH_scaling.json"):
+
+- `sustained` rows: always. Steady-state ingest amortizes scheduling
+  overhead, so more shards must never hurt, even on one core.
+- `batch` rows: only legs that actually run the pipelined engine on
+  hardware that can host it, i.e. 2 <= threads <= host cores. threads=1
+  routes to the sequential fallback, where 4-way kNN probe work grows
+  intrinsically and shards=4 legitimately trails shards=2 at small N;
+  legs wider than the core count measure the scheduler, not the engine.
+
+Everything else is printed as info so the artifact stays inspectable.
+
+Usage: check_scaling.py [BENCH_scaling.json]
+"""
+
+import json
+import os
+import sys
+
+# Runner-noise allowance on the speedup ratio: 4-shard must reach at
+# least (1 - TOLERANCE) of the 2-shard speedup.
+TOLERANCE = 0.05
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_scaling.json"
+    with open(path) as f:
+        rows = json.load(f)
+
+    cores = os.cpu_count() or 1
+    groups = {}
+    for r in rows:
+        key = (r["mode"], r["n_objects"], r["threads"])
+        groups.setdefault(key, {})[r["shards"]] = r["speedup_vs_1_shard"]
+
+    failures = []
+    gated = 0
+    for (mode, n, t), by_shards in sorted(groups.items()):
+        if 2 not in by_shards or 4 not in by_shards:
+            continue
+        s2, s4 = by_shards[2], by_shards[4]
+        if mode == "sustained":
+            enforced, why = True, "gated"
+        elif t < 2:
+            enforced, why = False, "info only (sequential fallback leg)"
+        elif t > cores:
+            enforced, why = False, f"info only (threads={t} > {cores} cores)"
+        else:
+            enforced, why = True, "gated"
+        verdict = "ok" if s4 >= s2 * (1.0 - TOLERANCE) else "REGRESSION"
+        print(
+            f"{mode:>9} n={n:<7} threads={t}: "
+            f"shards=2 {s2:5.2f}x  shards=4 {s4:5.2f}x  [{verdict}, {why}]"
+        )
+        if enforced:
+            gated += 1
+            if verdict != "ok":
+                failures.append((mode, n, t, s2, s4))
+
+    if not gated:
+        print("error: no bench point was gated — artifact empty or malformed")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} scaling regression(s): shards=4 fell below "
+              f"shards=2 (tolerance {TOLERANCE:.0%})")
+        return 1
+    print(f"\nall {gated} gated bench points pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
