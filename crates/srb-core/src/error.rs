@@ -69,6 +69,15 @@ pub enum RecoveryError {
     /// The recovered state was checkpointed under a different server
     /// configuration than the one supplied to `recover`.
     ConfigMismatch,
+    /// The checkpoint records an index structure the recovering backend
+    /// type cannot hold. Recover into `Server<DynBackend>` (which accepts
+    /// every kind) and migrate explicitly afterwards.
+    BackendMismatch {
+        /// The kind label the checkpoint recorded.
+        found: &'static str,
+        /// The backend type that refused it.
+        recovering: &'static str,
+    },
     /// The durability store was poisoned by an earlier write failure.
     Poisoned,
     /// A crash point injected by the test harness fired.
@@ -111,6 +120,11 @@ impl fmt::Display for RecoveryError {
             RecoveryError::ConfigMismatch => {
                 write!(f, "checkpoint was taken under a different configuration")
             }
+            RecoveryError::BackendMismatch { found, recovering } => write!(
+                f,
+                "checkpoint holds a {found:?} index but the {recovering:?} backend cannot \
+                 hold one; recover with DynBackend and migrate explicitly"
+            ),
             RecoveryError::Poisoned => write!(f, "durability store poisoned"),
             RecoveryError::Injected => write!(f, "injected crash point fired"),
             RecoveryError::Disabled => write!(f, "durability is not configured"),

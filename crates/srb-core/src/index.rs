@@ -114,6 +114,15 @@ impl<B: SpatialBackend> ObjectIndex<B> {
         self.tree.visits()
     }
 
+    /// Rebuilds the backend in place under a new [`BackendConfig`] (the
+    /// adaptive plane's live migration). The state table is untouched —
+    /// migration preserves every stored rectangle, so coherence holds by
+    /// construction. Returns `false` when `B` cannot represent the
+    /// requested config (every backend except `DynBackend`).
+    pub fn migrate_backend(&mut self, config: &BackendConfig) -> bool {
+        self.tree.migrate(config)
+    }
+
     /// Cheap structural check: the backend and the table index the same
     /// number of objects.
     pub fn check_counts(&self) {

@@ -46,11 +46,17 @@
 //! [`ShardedServer`] default to the paper's R\*-tree, and
 //! `Server::<UniformGrid>::with_backend` (or `SRB_BACKEND=grid` through the
 //! simulator) swaps in the uniform-grid backend without touching any query
-//! semantics.
+//! semantics. The choice is also revisable at runtime:
+//! [`DynBackend`](srb_index::DynBackend) dispatches over both structures
+//! behind one type, [`ShardedServer::migrate_shard`] live-rebuilds a shard
+//! into the other structure mid-stream with bit-identical results, and
+//! `SRB_BACKEND=adaptive` arms an [`AdaptiveController`] that migrates and
+//! retunes per shard from observed telemetry at batch boundaries.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod adaptive;
 mod bounds;
 mod config;
 mod error;
@@ -72,6 +78,7 @@ mod server;
 mod sharded;
 mod wal;
 
+pub use adaptive::{AdaptAction, AdaptiveController, ShardSignals};
 pub use bounds::LocBound;
 pub use config::{DurabilityConfig, ServerConfig};
 pub use error::{RecoveryError, ServerError};
@@ -89,5 +96,6 @@ pub use server::{
 pub use sharded::{configured_threads, ShardedServer, SyncProvider, TableProvider};
 pub use srb_durable::{CrashPoint, SyncPolicy};
 pub use srb_index::{
-    BackendConfig, BackendStats, GridConfig, RStarTree, SpatialBackend, TreeConfig, UniformGrid,
+    AdaptiveConfig, BackendConfig, BackendKind, BackendStats, ConfigError, DynBackend, GridConfig,
+    RStarTree, SpatialBackend, TreeConfig, UniformGrid,
 };

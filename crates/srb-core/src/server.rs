@@ -25,7 +25,7 @@ use crate::scratch::{BatchScratch, OpBuffers};
 use crate::wal::{self, Record, ReplayProvider, Wal};
 use srb_geom::{Point, Rect};
 use srb_hash::FastMap;
-use srb_index::{RStarTree, SpatialBackend};
+use srb_index::{BackendConfig, BackendKind, RStarTree, SpatialBackend};
 use std::path::Path;
 
 /// Response to a query registration: the id, the initial results, and the
@@ -968,6 +968,41 @@ impl<B: SpatialBackend> Server<B> {
         ok
     }
 
+    /// The index structure currently live under this server (which, on
+    /// the adaptive plane, can differ from what `config.backend` names).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.index.tree().kind()
+    }
+
+    /// Live-migrates the object index to a new backend configuration (see
+    /// [`SpatialBackend::migrate`]) — a semantic no-op: every stored safe
+    /// region is preserved, so query results are unchanged. Returns
+    /// `false` when the backend type `B` cannot represent `config`
+    /// (everything except `DynBackend`).
+    ///
+    /// With durability attached this forces a checkpoint: an explicit
+    /// migration is *not* an operation the log replays, so the checkpoint
+    /// is what carries the new structure across a crash. (Migrations made
+    /// by the adaptive controller need no checkpoint — they are replayed
+    /// deterministically from controller state.)
+    pub fn migrate_backend(&mut self, config: &BackendConfig) -> bool {
+        if !self.migrate_index(config) {
+            return false;
+        }
+        srb_obs::counter!("index.adaptive.explicit_migrations").inc();
+        if self.wal.is_some() {
+            self.checkpoint();
+        }
+        true
+    }
+
+    /// The bare index migration, without the explicit-migration telemetry
+    /// or checkpoint — the adaptive controller's path (its migrations are
+    /// replayed from controller state, so no checkpoint is needed).
+    pub(crate) fn migrate_index(&mut self, config: &BackendConfig) -> bool {
+        self.index.migrate_backend(config)
+    }
+
     /// A 64-bit digest of the full serialized state — what the crash
     /// harness compares between a recovered run and its golden twin.
     pub fn state_digest(&self) -> u64 {
@@ -993,8 +1028,12 @@ impl<B: SpatialBackend> Server<B> {
     /// query processor, deferred timers). Scratch buffers are empty
     /// between operations and carry no state.
     pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
-        use srb_durable::codec::put_u64;
+        use srb_durable::codec::{put_u64, put_u8};
         put_u64(out, wal::config_fingerprint(&self.config));
+        // The *live* index structure, which under the adaptive plane can
+        // differ from what `config.backend` names. Recovery refuses a
+        // backend type that cannot hold it (`RecoveryError::BackendMismatch`).
+        put_u8(out, self.index.tree().kind().tag());
         put_u64(out, self.costs.source_updates);
         put_u64(out, self.costs.probes);
         let w = &self.work;
@@ -1041,6 +1080,14 @@ impl<B: SpatialBackend> Server<B> {
     ) -> Result<Self, RecoveryError> {
         if dec.u64()? != wal::config_fingerprint(config) {
             return Err(RecoveryError::ConfigMismatch);
+        }
+        let kind = BackendKind::from_tag(dec.u8()?)
+            .ok_or(RecoveryError::Corrupt("unknown backend kind tag"))?;
+        if !B::accepts_kind(kind) {
+            return Err(RecoveryError::BackendMismatch {
+                found: kind.label(),
+                recovering: B::label(),
+            });
         }
         let costs = CostTracker { source_updates: dec.u64()?, probes: dec.u64()? };
         let work = WorkStats {

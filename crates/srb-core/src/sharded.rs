@@ -39,6 +39,7 @@
 //! the shard reevaluates, and the client receives a fresh safe region
 //! instead of being left pending.
 
+use crate::adaptive::{AdaptAction, AdaptiveController, ShardSignals};
 use crate::config::{DurabilityConfig, ServerConfig};
 use crate::error::{RecoveryError, ServerError};
 use crate::ids::{ObjectId, QueryId};
@@ -212,6 +213,12 @@ pub struct ShardedServer<B: srb_index::SpatialBackend = srb_index::RStarTree> {
     /// the requested worker count changes. Carries no engine state: at
     /// rest every shard server is checked back into `shards`.
     pipeline: Option<PipelineState<B>>,
+    /// The adaptive backend controller, present exactly when
+    /// `config.backend` is [`BackendConfig::Adaptive`]
+    /// (`srb_index::BackendConfig::Adaptive`). Consulted by
+    /// [`maybe_adapt`](Self::maybe_adapt) at batch boundaries; its decision
+    /// state is checkpointed so recovered runs re-make identical decisions.
+    adaptive: Option<AdaptiveController>,
 }
 
 impl ShardedServer {
@@ -240,6 +247,10 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         // logs for the whole fleet, one partition log per shard plus the
         // arbiter log.
         let shard_config = ServerConfig { durability: DurabilityConfig::default(), ..config };
+        let adaptive = match config.backend {
+            srb_index::BackendConfig::Adaptive(ac) => Some(AdaptiveController::new(ac, shards)),
+            _ => None,
+        };
         let mut server = ShardedServer {
             shards: (0..shards).map(|_| Server::with_backend(shard_config)).collect(),
             owner: Vec::new(),
@@ -253,6 +264,7 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
             scratch: CoordScratch::default(),
             wal: None,
             pipeline: None,
+            adaptive,
             config,
         };
         if server.config.durability.enabled() {
@@ -629,7 +641,9 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
             return result;
         }
         if self.shards.len() == 1 {
-            return self.shards[0].handle_location_updates(updates, provider, now);
+            let result = self.shards[0].handle_location_updates(updates, provider, now);
+            self.maybe_adapt();
+            return result;
         }
         let sequenced: Vec<SequencedUpdate> = updates
             .iter()
@@ -684,6 +698,7 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         }
         if self.shards.len() == 1 {
             self.shards[0].handle_sequenced_updates_into(updates, provider, now, out);
+            self.maybe_adapt();
             return;
         }
         let batches = self.partition(updates);
@@ -707,6 +722,7 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         self.scratch.durations = durations;
         self.scratch.batches = batches;
         self.finish_batch_in(out, start, provider, now);
+        self.maybe_adapt();
     }
 
     /// The parallel twin of
@@ -1006,12 +1022,19 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
                 let mut rp = w.recorder(&mut adapter);
                 self.finish_batch_in(out, start, &mut rp, now);
             }
+            // Adapt before the marker commits the batch: the controller's
+            // decision state (and any migration it makes) must be inside
+            // the state a post-marker checkpoint captures, and replay —
+            // which runs the same entry points without a WAL — re-makes
+            // the decision at exactly this point.
+            self.maybe_adapt();
             w.log_batch_marker(now, &counts.expect("counts derived with the wal"));
             self.wal = Some(w);
             self.wal_post_op();
         } else {
             let mut adapter = SyncAdapter(provider);
             self.finish_batch_in(out, start, &mut adapter, now);
+            self.maybe_adapt();
         }
     }
 
@@ -1061,6 +1084,87 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
         }
         self.finish_batch_in(&mut responses, 0, provider, now);
         responses
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive backend plane
+    // ------------------------------------------------------------------
+
+    /// Runs the adaptive controller at a batch boundary. No-op (one
+    /// `Option` check) unless the engine was built with
+    /// `BackendConfig::Adaptive`. Only the batch entry points adapt —
+    /// single updates, registrations, and deferred-probe drains are
+    /// deliberately excluded so the batch cadence (and therefore every
+    /// controller decision) is a deterministic function of the logged
+    /// operation stream.
+    ///
+    /// Every signal the controller reads is part of the per-shard
+    /// serialized state, and this runs *inside* the WAL recursion (the
+    /// coordinator's log hooks re-enter with the WAL detached), so
+    /// recovery replays each decision at exactly the batch that
+    /// originally made it.
+    fn maybe_adapt(&mut self) {
+        let Some(mut ctl) = self.adaptive.take() else { return };
+        if ctl.note_batch() {
+            for i in 0..self.shards.len() {
+                let shard = &self.shards[i];
+                let sig = ShardSignals {
+                    len: shard.object_count(),
+                    visits: shard.index_visits(),
+                    updates: shard.costs().source_updates,
+                    kind: shard.backend_kind(),
+                    grid_m: shard.object_index().tree().grid_resolution(),
+                };
+                if let Some(action) = ctl.decide(i, sig) {
+                    let migrated = self.shards[i].migrate_index(&ctl.config_for(action));
+                    debug_assert!(migrated, "adaptive engines run DynBackend shards");
+                    match action {
+                        AdaptAction::Migrate(_) => {
+                            srb_obs::counter!("index.adaptive.migrations").inc();
+                        }
+                        AdaptAction::Retune(_) => {
+                            srb_obs::counter!("index.adaptive.retunes").inc();
+                        }
+                    }
+                }
+            }
+        }
+        self.adaptive = Some(ctl);
+    }
+
+    /// Controller-triggered backend migrations so far (0 on non-adaptive
+    /// engines). Deterministic — read this in tests instead of the
+    /// process-global telemetry registry, which parallel tests share.
+    pub fn adaptive_migrations(&self) -> u64 {
+        self.adaptive.as_ref().map_or(0, |c| c.migrations())
+    }
+
+    /// Controller-triggered grid retunes so far (0 on non-adaptive
+    /// engines).
+    pub fn adaptive_retunes(&self) -> u64 {
+        self.adaptive.as_ref().map_or(0, |c| c.retunes())
+    }
+
+    /// Explicitly live-migrates one shard's index to `backend` (see
+    /// [`Server::migrate_backend`]) — the post-recovery escape hatch when
+    /// a checkpoint's backend no longer matches the deployment's wishes,
+    /// and the way to hand-place per-shard backends on a `DynBackend`
+    /// fleet. Semantically a no-op: safe regions, query results, and
+    /// probe behavior are unchanged. Returns `false` when `B` cannot
+    /// represent `backend`.
+    ///
+    /// With durability attached this forces a coordinator checkpoint:
+    /// explicit migrations are not log records, so the checkpoint is what
+    /// carries the new structure across a crash.
+    pub fn migrate_shard(&mut self, shard: usize, backend: &srb_index::BackendConfig) -> bool {
+        if !self.shards[shard].migrate_index(backend) {
+            return false;
+        }
+        srb_obs::counter!("index.adaptive.explicit_migrations").inc();
+        if self.wal.is_some() {
+            self.checkpoint();
+        }
+        true
     }
 
     // ------------------------------------------------------------------
@@ -1228,6 +1332,13 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
                 }
             }
         }
+        match &self.adaptive {
+            None => put_u8(out, 0),
+            Some(ctl) => {
+                put_u8(out, 1);
+                ctl.encode_state(out);
+            }
+        }
         for s in &self.shards {
             s.encode_state(out);
         }
@@ -1302,6 +1413,21 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
                 _ => return Err(RecoveryError::Corrupt("bad merged tag")),
             });
         }
+        // The controller tag must agree with the config (whose fingerprint
+        // was already checked): adaptive engines always checkpoint their
+        // decision state, non-adaptive engines never do.
+        let adaptive = match (dec.u8()?, config.backend) {
+            (0, srb_index::BackendConfig::Adaptive(_))
+            | (1, srb_index::BackendConfig::RStar(_))
+            | (1, srb_index::BackendConfig::Grid(_)) => {
+                return Err(RecoveryError::Corrupt("controller tag disagrees with config"))
+            }
+            (0, _) => None,
+            (1, srb_index::BackendConfig::Adaptive(ac)) => {
+                Some(AdaptiveController::decode_state(ac, shards, &mut dec)?)
+            }
+            _ => return Err(RecoveryError::Corrupt("bad controller tag")),
+        };
         let shard_config = ServerConfig { durability: DurabilityConfig::default(), ..*config };
         let mut shard_servers = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -1321,6 +1447,7 @@ impl<B: srb_index::SpatialBackend> ShardedServer<B> {
             scratch: CoordScratch::default(),
             wal: None,
             pipeline: None,
+            adaptive,
             config: *config,
         })
     }

@@ -120,6 +120,25 @@ fn server_steady_state_batches_do_not_allocate() {
     assert_eq!(extra, 0, "steady-state Server batch must be allocation-free");
 }
 
+/// The enum-dispatched backend must hit the same zero: `DynBackend`'s
+/// per-op `match` adds branch cost, never heap traffic, so the dispatch
+/// seam stays invisible to the memory plane.
+#[test]
+fn dyn_server_steady_state_batches_do_not_allocate() {
+    let mut provider = FnProvider(|id: ObjectId| home(id.index()));
+    let mut server = Server::<srb_core::DynBackend>::with_backend(ServerConfig::default());
+    for i in 0..N_OBJECTS {
+        server.add_object(ObjectId(i as u32), home(i), &mut provider, 0.0).expect("fresh id");
+    }
+    let far = Rect::new(Point::new(0.9, 0.9), Point::new(0.95, 0.95));
+    server.register_query(QuerySpec::Range { rect: far }, &mut provider, 0.0);
+
+    let extra = measure(|updates, out| {
+        server.handle_sequenced_updates_into(updates, &mut provider, 1.0, out);
+    });
+    assert_eq!(extra, 0, "steady-state DynBackend batch must be allocation-free");
+}
+
 #[test]
 fn sharded_steady_state_batches_do_not_allocate() {
     let mut provider = FnProvider(|id: ObjectId| home(id.index()));
@@ -166,4 +185,19 @@ fn nearest_iter_with_steady_state_does_not_allocate() {
     }
     check(&mut srb_core::RStarTree::new(srb_core::TreeConfig::default()), "rstar");
     check(&mut srb_core::UniformGrid::new(srb_core::GridConfig::default(), Rect::UNIT), "grid");
+    // And through the enum dispatch seam, on both inner structures.
+    check(
+        &mut srb_core::DynBackend::build(
+            &srb_core::BackendConfig::RStar(srb_core::TreeConfig::default()),
+            Rect::UNIT,
+        ),
+        "dyn-rstar",
+    );
+    check(
+        &mut srb_core::DynBackend::build(
+            &srb_core::BackendConfig::Grid(srb_core::GridConfig::default()),
+            Rect::UNIT,
+        ),
+        "dyn-grid",
+    );
 }

@@ -19,11 +19,124 @@
 //! paper's Algorithm 2 consumes.
 
 use crate::node::NodeId;
-use crate::GridConfig;
+use crate::{ConfigError, GridConfig};
 use crate::{EntryId, LeafEntry, Neighbor, RStarTree, TreeConfig, UpdateOutcome};
 use srb_geom::{Point, Rect};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// The concrete index structure a backend instance is running right now.
+///
+/// [`BackendConfig`] selects a *policy* (which may be adaptive);
+/// `BackendKind` names the *mechanism* currently holding the entries. The
+/// durable checkpoint header records it so recovery can refuse a silent
+/// backend mismatch, and the adaptive controller uses it as the migration
+/// state variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// An [`RStarTree`](crate::RStarTree).
+    RStar,
+    /// A [`UniformGrid`](crate::UniformGrid).
+    Grid,
+}
+
+impl BackendKind {
+    /// Short label for logs, errors, and JSON rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::RStar => "rstar",
+            BackendKind::Grid => "grid",
+        }
+    }
+
+    /// One-byte wire tag for checkpoint headers.
+    pub fn tag(self) -> u8 {
+        match self {
+            BackendKind::RStar => 0,
+            BackendKind::Grid => 1,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(BackendKind::RStar),
+            1 => Some(BackendKind::Grid),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters of the adaptive backend plane: the per-kind build configs a
+/// [`DynBackend`](crate::DynBackend) migrates between, and the thresholds
+/// the `AdaptiveController` (srb-core) applies at batch boundaries.
+///
+/// The whole struct feeds the durable config fingerprint via its `Debug`
+/// form, so changing any threshold invalidates old checkpoints — which is
+/// required for determinism: controller decisions replay from the log, and
+/// must be made under the thresholds that produced the log.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Build parameters used whenever a shard runs (or migrates to) the
+    /// R\*-tree.
+    pub rstar: TreeConfig,
+    /// Build parameters used whenever a shard runs (or migrates to) the
+    /// grid; `grid.m` is only the *initial* resolution — the controller
+    /// retunes it from live density.
+    pub grid: GridConfig,
+    /// The kind every shard starts on.
+    pub initial: BackendKind,
+    /// Controller cadence: examine counters every this many batches
+    /// (per coordinator, not per shard). Must be ≥ 1.
+    pub decision_every: u32,
+    /// A shard holding more objects than this votes for the grid (dense
+    /// populations amortize cell scans; see BENCH_backend.json).
+    pub dense_above: usize,
+    /// A shard holding fewer objects than this votes for the tree (sparse
+    /// populations make ring scans touch mostly empty cells).
+    pub sparse_below: usize,
+    /// Hysteresis: a shard must vote for the *same* other kind this many
+    /// consecutive decisions before the controller migrates it.
+    pub confirm: u32,
+    /// Grid retune target: ideal resolution is chosen so the average
+    /// occupied cell holds about this many objects.
+    pub target_per_cell: f64,
+    /// Grid retune deadband: only resize when the ideal resolution differs
+    /// from the current one by more than this fraction of the current.
+    pub retune_ratio: f64,
+    /// Work-mix signal: when a decision window spends more than this many
+    /// index visits per operation, the shard is search-bound and votes for
+    /// the grid even below `dense_above`.
+    pub hot_visits_per_op: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            rstar: TreeConfig::default(),
+            grid: GridConfig::default(),
+            initial: BackendKind::RStar,
+            decision_every: 8,
+            dense_above: 6000,
+            sparse_below: 1500,
+            confirm: 2,
+            target_per_cell: 4.0,
+            retune_ratio: 0.5,
+            hot_visits_per_op: 64.0,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// The [`BackendConfig`] that builds a backend of `kind` under this
+    /// adaptive policy's per-kind parameters.
+    pub fn config_for(&self, kind: BackendKind) -> BackendConfig {
+        match kind {
+            BackendKind::RStar => BackendConfig::RStar(self.rstar),
+            BackendKind::Grid => BackendConfig::Grid(self.grid),
+        }
+    }
+}
 
 /// Selects and parameterizes the object-index backend.
 ///
@@ -36,6 +149,10 @@ pub enum BackendConfig {
     RStar(TreeConfig),
     /// The uniform-grid backend (cell-bucketed safe regions).
     Grid(GridConfig),
+    /// The runtime-dispatched adaptive plane: each shard holds a
+    /// [`DynBackend`](crate::DynBackend) and the controller may migrate it
+    /// between kinds or retune the grid resolution at batch boundaries.
+    Adaptive(AdaptiveConfig),
 }
 
 impl Default for BackendConfig {
@@ -50,19 +167,41 @@ impl BackendConfig {
         match self {
             BackendConfig::RStar(_) => "rstar",
             BackendConfig::Grid(_) => "grid",
+            BackendConfig::Adaptive(_) => "adaptive",
         }
     }
 
     /// Reads the backend from the `SRB_BACKEND` environment variable:
-    /// `grid` selects [`UniformGrid`] defaults, `rstar` (or unset) the
-    /// R\*-tree defaults. Any other value panics — a typo must not silently
-    /// run the wrong experiment.
-    pub fn from_env() -> Self {
+    /// `grid` selects [`UniformGrid`](crate::UniformGrid) defaults,
+    /// `adaptive` the runtime-dispatched adaptive plane, `rstar` (or
+    /// unset) the R\*-tree defaults. Any other value is a typed
+    /// [`ConfigError::UnknownBackend`] — a typo must not silently run the
+    /// wrong experiment.
+    pub fn try_from_env() -> Result<Self, ConfigError> {
         match std::env::var("SRB_BACKEND") {
-            Err(_) => BackendConfig::default(),
-            Ok(v) if v.eq_ignore_ascii_case("grid") => BackendConfig::Grid(GridConfig::default()),
-            Ok(v) if v.eq_ignore_ascii_case("rstar") || v.is_empty() => BackendConfig::default(),
-            Ok(v) => panic!("SRB_BACKEND={v:?} is not a known backend (use \"rstar\" or \"grid\")"),
+            Err(_) => Ok(BackendConfig::default()),
+            Ok(v) if v.eq_ignore_ascii_case("grid") => {
+                Ok(BackendConfig::Grid(GridConfig::default()))
+            }
+            Ok(v) if v.eq_ignore_ascii_case("adaptive") => {
+                Ok(BackendConfig::Adaptive(AdaptiveConfig::default()))
+            }
+            Ok(v) if v.eq_ignore_ascii_case("rstar") || v.is_empty() => {
+                Ok(BackendConfig::default())
+            }
+            // `ConfigError` is `Copy`, so the offending value is leaked
+            // into a `'static` str. This path runs at most once per
+            // process (env parsing at startup), so the leak is bounded.
+            Ok(v) => Err(ConfigError::UnknownBackend { value: Box::leak(v.into_boxed_str()) }),
+        }
+    }
+
+    /// Like [`try_from_env`](Self::try_from_env) but panics on an unknown
+    /// value — the startup-path convenience the simulator uses.
+    pub fn from_env() -> Self {
+        match Self::try_from_env() {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -121,6 +260,35 @@ pub trait SpatialBackend {
     where
         Self: Sized;
 
+    /// The concrete index structure currently holding the entries. For the
+    /// monomorphized backends this is a constant; for
+    /// [`DynBackend`](crate::DynBackend) it changes across migrations.
+    fn kind(&self) -> BackendKind;
+
+    /// Whether a checkpoint recorded under `kind` can be decoded into this
+    /// backend type. Recovery checks this *before* touching backend bytes,
+    /// so a type/checkpoint mismatch yields a typed refusal instead of a
+    /// codec error.
+    fn accepts_kind(kind: BackendKind) -> bool
+    where
+        Self: Sized;
+
+    /// Rebuilds the index in place under a new [`BackendConfig`] (a *live
+    /// migration*), preserving every entry. Returns `false` when the
+    /// backend cannot represent the requested config — the monomorphized
+    /// backends refuse everything; only [`DynBackend`](crate::DynBackend)
+    /// migrates.
+    fn migrate(&mut self, config: &BackendConfig) -> bool {
+        let _ = config;
+        false
+    }
+
+    /// The current grid resolution `m`, when the live structure is a grid.
+    /// The adaptive controller reads this to decide retunes.
+    fn grid_resolution(&self) -> Option<usize> {
+        None
+    }
+
     /// Number of entries stored.
     fn len(&self) -> usize;
 
@@ -152,6 +320,12 @@ pub trait SpatialBackend {
         self.search(query, &mut |e| out.push(*e));
         out
     }
+
+    /// Visits every stored entry (backend-specific order) without touching
+    /// the visit counter. This is the migration sweep: unlike a
+    /// whole-space `search`, it also reaches entries whose rectangles lie
+    /// outside the indexed space (the grid clamps those into edge cells).
+    fn for_each_entry(&self, f: &mut dyn FnMut(EntryId, Rect));
 
     /// Starts a best-first browse from `q`, allocating a fresh frontier.
     fn nearest_iter(&self, q: Point) -> Self::Nearest<'_>;
@@ -283,6 +457,14 @@ impl SpatialBackend for RStarTree {
         "rstar"
     }
 
+    fn kind(&self) -> BackendKind {
+        BackendKind::RStar
+    }
+
+    fn accepts_kind(kind: BackendKind) -> bool {
+        kind == BackendKind::RStar
+    }
+
     fn len(&self) -> usize {
         RStarTree::len(self)
     }
@@ -305,6 +487,12 @@ impl SpatialBackend for RStarTree {
 
     fn search(&self, query: &Rect, f: &mut dyn FnMut(&LeafEntry)) {
         RStarTree::search(self, query, |e| f(e));
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(EntryId, Rect)) {
+        for e in RStarTree::iter(self) {
+            f(e.id, e.rect);
+        }
     }
 
     fn nearest_iter(&self, q: Point) -> Self::Nearest<'_> {

@@ -23,7 +23,9 @@
 //! expected safe-region side (see DESIGN.md §13 for the rule and measured
 //! tradeoffs).
 
-use crate::backend::{BackendConfig, BackendStats, HeapItem, HeapKind, NearestScratch};
+use crate::backend::{
+    BackendConfig, BackendKind, BackendStats, HeapItem, HeapKind, NearestScratch,
+};
 use crate::UpdateOutcome;
 use crate::{ConfigError, EntryId, LeafEntry, NearestStream, Neighbor, SpatialBackend};
 use srb_geom::{Point, Rect};
@@ -369,6 +371,18 @@ impl SpatialBackend for UniformGrid {
         "grid"
     }
 
+    fn kind(&self) -> BackendKind {
+        BackendKind::Grid
+    }
+
+    fn accepts_kind(kind: BackendKind) -> bool {
+        kind == BackendKind::Grid
+    }
+
+    fn grid_resolution(&self) -> Option<usize> {
+        Some(self.m)
+    }
+
     fn len(&self) -> usize {
         UniformGrid::len(self)
     }
@@ -391,6 +405,12 @@ impl SpatialBackend for UniformGrid {
 
     fn search(&self, query: &Rect, f: &mut dyn FnMut(&LeafEntry)) {
         UniformGrid::search(self, query, |e| f(e));
+    }
+
+    fn for_each_entry(&self, f: &mut dyn FnMut(EntryId, Rect)) {
+        for e in UniformGrid::iter(self) {
+            f(e.id, e.rect);
+        }
     }
 
     fn nearest_iter(&self, q: Point) -> Self::Nearest<'_> {

@@ -36,13 +36,18 @@
 
 mod backend;
 mod bulk;
+mod dyn_backend;
 mod grid;
 mod node;
 mod persist;
 mod split;
 
-pub use backend::{BackendConfig, BackendStats, NearestScratch, NearestStream, SpatialBackend};
+pub use backend::{
+    AdaptiveConfig, BackendConfig, BackendKind, BackendStats, NearestScratch, NearestStream,
+    SpatialBackend,
+};
 pub use bulk::bulk_load;
+pub use dyn_backend::{DynBackend, DynNearest};
 pub use grid::{GridConfig, GridNearest, UniformGrid};
 pub use node::{EntryId, LeafEntry};
 
@@ -140,6 +145,12 @@ pub enum ConfigError {
         /// The offending per-axis resolution.
         m: usize,
     },
+    /// `SRB_BACKEND` named a backend that does not exist.
+    UnknownBackend {
+        /// The unrecognized value (leaked to `'static` so the error stays
+        /// `Copy`; env parsing runs once per process).
+        value: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -161,6 +172,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadGridResolution { m } => {
                 write!(f, "grid resolution must lie in [1, 32768], got {m}")
             }
+            ConfigError::UnknownBackend { value } => write!(
+                f,
+                "SRB_BACKEND={value:?} is not a known backend \
+                 (use \"rstar\", \"grid\", or \"adaptive\")"
+            ),
         }
     }
 }

@@ -1,13 +1,17 @@
 //! Backend-equivalence property test: under a randomized workload of
 //! inserts, removals, updates, range searches, and nearest-neighbor
-//! browses, the [`RStarTree`] and the [`UniformGrid`] must produce
+//! browses, the [`RStarTree`], the [`UniformGrid`], and a [`DynBackend`]
+//! that *live-migrates between structures mid-stream* must all produce
 //! *identical result sets* — the trait seam swaps cost profiles, never
-//! semantics. Both are additionally cross-checked against a brute-force
-//! oracle so an agreeing-but-wrong pair cannot slip through.
+//! semantics. All three are additionally cross-checked against a
+//! brute-force oracle so an agreeing-but-wrong trio cannot slip through.
 
 use proptest::prelude::*;
 use srb_geom::{Point, Rect};
-use srb_index::{GridConfig, NearestStream, RStarTree, SpatialBackend, TreeConfig, UniformGrid};
+use srb_index::{
+    BackendConfig, DynBackend, GridConfig, NearestStream, RStarTree, SpatialBackend, TreeConfig,
+    UniformGrid,
+};
 use std::collections::HashMap;
 
 #[derive(Clone, Debug)]
@@ -17,22 +21,27 @@ enum Op {
     Update(u64, f64, f64, f64, f64),
     Search(f64, f64, f64, f64),
     Nearest(f64, f64),
+    /// Live-migrate the `DynBackend` participant: to an R\*-tree when
+    /// `to_grid` is false, else to a grid with resolution `m`.
+    Migrate {
+        to_grid: bool,
+        m: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
-    let id = 0u64..40;
-    let coord = 0.0f64..1.0;
-    let half = 0.0f64..0.1;
-    prop_oneof![
-        (id.clone(), coord.clone(), coord.clone(), half.clone(), half.clone())
-            .prop_map(|(i, x, y, hx, hy)| Op::Insert(i, x, y, hx, hy)),
-        id.clone().prop_map(Op::Remove),
-        (id, coord.clone(), coord.clone(), half.clone(), half.clone())
-            .prop_map(|(i, x, y, hx, hy)| Op::Update(i, x, y, hx, hy)),
-        (coord.clone(), coord.clone(), half.clone(), half)
-            .prop_map(|(x, y, hx, hy)| Op::Search(x, y, hx, hy)),
-        (coord.clone(), coord).prop_map(|(x, y)| Op::Nearest(x, y)),
-    ]
+    // Weighted mix via a kind band (8:8:8:8:8:3): migrations are rare enough
+    // that real workload accumulates between structure swaps.
+    (0u8..43, 0u64..40, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.1, 0.0f64..0.1, 2usize..24).prop_map(
+        |(kind, id, x, y, hx, hy, m)| match kind {
+            0..=7 => Op::Insert(id, x, y, hx, hy),
+            8..=15 => Op::Remove(id),
+            16..=23 => Op::Update(id, x, y, hx, hy),
+            24..=31 => Op::Search(x, y, hx, hy),
+            32..=39 => Op::Nearest(x, y),
+            _ => Op::Migrate { to_grid: id % 2 == 0, m },
+        },
+    )
 }
 
 fn rect(x: f64, y: f64, hx: f64, hy: f64) -> Rect {
@@ -71,12 +80,19 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     #[test]
-    fn grid_and_rstar_agree(
+    fn grid_rstar_and_migrating_dyn_agree(
         ops in prop::collection::vec(arb_op(), 1..120),
         m in 2usize..24,
+        dyn_starts_grid in any::<bool>(),
     ) {
         let mut tree = RStarTree::new(TreeConfig::default());
         let mut grid = UniformGrid::new(GridConfig { m }, Rect::UNIT);
+        let dyn_cfg = if dyn_starts_grid {
+            BackendConfig::Grid(GridConfig { m })
+        } else {
+            BackendConfig::RStar(TreeConfig::default())
+        };
+        let mut dynb = DynBackend::build(&dyn_cfg, Rect::UNIT);
         let mut oracle: HashMap<u64, Rect> = HashMap::new();
         for op in ops {
             match op {
@@ -85,6 +101,7 @@ proptest! {
                         let r = rect(x, y, hx, hy);
                         tree.insert(id, r);
                         grid.insert(id, r);
+                        dynb.insert(id, r);
                         e.insert(r);
                     }
                 }
@@ -92,6 +109,7 @@ proptest! {
                     let expected = oracle.remove(&id);
                     prop_assert_eq!(tree.remove(id), expected);
                     prop_assert_eq!(grid.remove(id), expected);
+                    prop_assert_eq!(SpatialBackend::remove(&mut dynb, id), expected);
                 }
                 Op::Update(id, x, y, hx, hy) => {
                     let r = rect(x, y, hx, hy);
@@ -99,12 +117,14 @@ proptest! {
                     // only the resulting contents must agree.
                     let _ = tree.update(id, r);
                     let _ = grid.update(id, r);
+                    let _ = SpatialBackend::update(&mut dynb, id, r);
                     oracle.insert(id, r);
                 }
                 Op::Search(x, y, hx, hy) => {
                     let q = rect(x, y, hx, hy);
                     let got_tree = search_ids(&tree, &q);
                     let got_grid = search_ids(&grid, &q);
+                    let got_dyn = search_ids(&dynb, &q);
                     let mut expected: Vec<u64> = oracle
                         .iter()
                         .filter(|(_, r)| r.intersects(&q))
@@ -113,27 +133,46 @@ proptest! {
                     expected.sort_unstable();
                     prop_assert_eq!(&got_tree, &expected);
                     prop_assert_eq!(&got_grid, &expected);
+                    prop_assert_eq!(&got_dyn, &expected);
                 }
                 Op::Nearest(x, y) => {
                     let q = Point::new(x, y);
                     let got_tree = nearest_pairs(&tree, q);
                     let got_grid = nearest_pairs(&grid, q);
+                    let got_dyn = nearest_pairs(&dynb, q);
                     prop_assert_eq!(got_tree.len(), oracle.len());
                     prop_assert_eq!(got_grid.len(), oracle.len());
+                    prop_assert_eq!(got_dyn.len(), oracle.len());
                     for ((dt, it), (dg, ig)) in got_tree.iter().zip(got_grid.iter()) {
                         prop_assert!((dt - dg).abs() < 1e-12);
                         prop_assert_eq!(it, ig);
                     }
+                    for ((dt, it), (dd, id)) in got_tree.iter().zip(got_dyn.iter()) {
+                        prop_assert!((dt - dd).abs() < 1e-12);
+                        prop_assert_eq!(it, id);
+                    }
+                }
+                Op::Migrate { to_grid, m } => {
+                    let target = if to_grid {
+                        BackendConfig::Grid(GridConfig { m })
+                    } else {
+                        BackendConfig::RStar(TreeConfig::default())
+                    };
+                    prop_assert!(dynb.migrate(&target));
+                    dynb.check_invariants();
                 }
             }
             prop_assert_eq!(tree.len(), oracle.len());
             prop_assert_eq!(grid.len(), oracle.len());
+            prop_assert_eq!(dynb.len(), oracle.len());
             for (&id, &r) in &oracle {
                 prop_assert_eq!(tree.get(id), Some(r));
                 prop_assert_eq!(grid.get(id), Some(r));
+                prop_assert_eq!(SpatialBackend::get(&dynb, id), Some(r));
             }
         }
         tree.check_invariants();
         grid.check_invariants();
+        dynb.check_invariants();
     }
 }

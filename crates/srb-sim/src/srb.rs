@@ -11,8 +11,8 @@ use crate::metrics::{AccuracyAcc, RunMetrics};
 use crate::truth::evaluate_truth;
 use crate::workload::generate_workload;
 use srb_core::{
-    BackendConfig, LocationProvider, ObjectId, QueryId, QuerySpec, RStarTree, SequencedUpdate,
-    ServerConfig, ShardedServer, SpatialBackend, SyncProvider, UniformGrid,
+    BackendConfig, DynBackend, LocationProvider, ObjectId, QueryId, QuerySpec, RStarTree,
+    SequencedUpdate, ServerConfig, ShardedServer, SpatialBackend, SyncProvider, UniformGrid,
 };
 use srb_geom::{Point, Rect};
 use srb_mobility::{MobileClient, Trajectory};
@@ -80,6 +80,7 @@ pub fn run_srb(cfg: &SimConfig) -> RunMetrics {
     match cfg.backend {
         BackendConfig::RStar(_) => run_srb_with::<RStarTree>(cfg),
         BackendConfig::Grid(_) => run_srb_with::<UniformGrid>(cfg),
+        BackendConfig::Adaptive(_) => run_srb_with::<DynBackend>(cfg),
     }
 }
 
